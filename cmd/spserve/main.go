@@ -1,0 +1,114 @@
+// Command spserve serves shortest path and distance queries over HTTP —
+// the online-map-service deployment the paper's introduction motivates.
+//
+// Usage:
+//
+//	spserve -preset CO -method ch -addr :8080
+//	spserve -gr map.gr -co map.co -method tnr -index tnr.idx
+//
+// With -index, the index is loaded from the file when it exists and
+// otherwise built and saved to it (preprocess once, serve forever).
+//
+// API:
+//
+//	GET /v1/distance?from=ID&to=ID
+//	GET /v1/route?from=ID&to=ID
+//	GET /v1/nearest?x=X&y=Y
+//	GET /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"roadnet"
+	"roadnet/internal/core"
+	"roadnet/internal/server"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "Table 1 dataset preset name")
+		grPath    = flag.String("gr", "", "DIMACS .gr file")
+		coPath    = flag.String("co", "", "DIMACS .co file")
+		method    = flag.String("method", "ch", "technique: dijkstra, ch, tnr, silc, pcpd, alt, arcflags")
+		indexPath = flag.String("index", "", "index file: load if present, else build and save (ch/tnr/silc)")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	g, err := load(*preset, *grPath, *coPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := idx.Stats()
+	fmt.Printf("index: %s, %d KB, built in %v\n", st.Method, st.IndexBytes/1024, st.BuildTime.Round(time.Millisecond))
+
+	srv := server.New(g, idx)
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string) (core.Index, error) {
+	if indexPath != "" {
+		if f, err := os.Open(indexPath); err == nil {
+			defer f.Close()
+			idx, err := roadnet.LoadIndex(method, f, g)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", indexPath, err)
+			}
+			fmt.Printf("loaded index from %s\n", indexPath)
+			return idx, nil
+		}
+	}
+	idx, err := roadnet.NewIndex(method, g, roadnet.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if indexPath != "" {
+		f, err := os.Create(indexPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := roadnet.SaveIndex(idx, f); err != nil {
+			return nil, fmt.Errorf("saving %s: %w", indexPath, err)
+		}
+		fmt.Printf("saved index to %s\n", indexPath)
+	}
+	return idx, nil
+}
+
+func load(preset, grPath, coPath string) (*roadnet.Graph, error) {
+	if preset != "" {
+		return roadnet.GeneratePreset(preset)
+	}
+	if grPath == "" || coPath == "" {
+		return nil, fmt.Errorf("need -preset, or both -gr and -co")
+	}
+	gr, err := os.Open(grPath)
+	if err != nil {
+		return nil, err
+	}
+	defer gr.Close()
+	co, err := os.Open(coPath)
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+	return roadnet.LoadDIMACS(gr, co)
+}

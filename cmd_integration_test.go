@@ -1,0 +1,96 @@
+// Integration tests for the command-line tools: each binary is built once
+// and exercised end to end on small inputs. These verify flag parsing, file
+// IO and the wiring between the commands and the library — the paths unit
+// tests cannot reach.
+package roadnet_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCommands compiles the cmd binaries into a temp dir once per test run.
+var builtCommands struct {
+	dir  string
+	fail string
+}
+
+func commandPath(t *testing.T, name string) string {
+	t.Helper()
+	if builtCommands.fail != "" {
+		t.Fatalf("command build failed earlier: %s", builtCommands.fail)
+	}
+	if builtCommands.dir == "" {
+		dir, err := os.MkdirTemp("", "roadnet-cmds")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Command("go", "build", "-o", dir+string(filepath.Separator),
+			"./cmd/spexp", "./cmd/genmap", "./cmd/sproute").CombinedOutput()
+		if err != nil {
+			builtCommands.fail = string(out)
+			t.Fatalf("building commands: %v\n%s", err, out)
+		}
+		builtCommands.dir = dir
+	}
+	return filepath.Join(builtCommands.dir, name)
+}
+
+func runCommand(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(commandPath(t, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", name, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestSpexpList(t *testing.T) {
+	out := runCommand(t, "spexp", "-list")
+	for _, id := range []string{"t1", "t2", "f6", "f17", "b", "ext"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("spexp -list missing experiment %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestSpexpRunsSingleExperiment(t *testing.T) {
+	out := runCommand(t, "spexp", "-exp", "t1", "-datasets", "DE", "-queries", "10")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Delaware") {
+		t.Errorf("unexpected t1 output:\n%s", out)
+	}
+}
+
+func TestGenmapAndSproute(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "tiny")
+	out := runCommand(t, "genmap", "-n", "400", "-seed", "3", "-out", base)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("genmap output: %s", out)
+	}
+	for _, ext := range []string{".gr", ".co"} {
+		if _, err := os.Stat(base + ext); err != nil {
+			t.Fatalf("genmap did not write %s: %v", ext, err)
+		}
+	}
+
+	out = runCommand(t, "sproute",
+		"-gr", base+".gr", "-co", base+".co", "-method", "ch", "-s", "0", "-t", "5", "-path")
+	if !strings.Contains(out, "distance") {
+		t.Fatalf("sproute output: %s", out)
+	}
+	if !strings.Contains(out, "path (") {
+		t.Fatalf("sproute -path did not print a path: %s", out)
+	}
+}
+
+func TestSprouteRejectsBadVertex(t *testing.T) {
+	cmd := exec.Command(commandPath(t, "sproute"), "-preset", "DE", "-s", "0", "-t", "999999")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected failure for out-of-range vertex, got:\n%s", out)
+	}
+}

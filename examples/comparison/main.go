@@ -1,0 +1,62 @@
+// Comparison: build all five techniques of the paper on one dataset and
+// print a summary in the spirit of the paper's §4.7 — preprocessing time,
+// index size, and mean query times for distance and shortest-path queries
+// on a mixed workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"roadnet"
+)
+
+func main() {
+	g, err := roadnet.GeneratePreset("NH") // ~2.4k vertices: PCPD still feasible
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets, err := roadnet.LInfQuerySets(g, roadnet.WorkloadConfig{PairsPerSet: 200, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A mixed workload: one short-range, one mid-range, one long-range set.
+	workload := append(append(sets[0].Pairs, sets[4].Pairs...), sets[9].Pairs...)
+
+	fmt.Printf("dataset NH': %d vertices, %d edges; %d mixed queries\n\n",
+		g.NumVertices(), g.NumEdges(), len(workload))
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tbuild\tindex KB\tdistance microsec\tpath microsec")
+	for _, m := range roadnet.Methods() {
+		idx, err := roadnet.NewIndex(m, g, roadnet.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := idx.Stats()
+
+		distMicros := timePerQuery(func() {
+			for _, p := range workload {
+				idx.Distance(p.S, p.T)
+			}
+		}, len(workload))
+		pathMicros := timePerQuery(func() {
+			for _, p := range workload {
+				idx.ShortestPath(p.S, p.T)
+			}
+		}, len(workload))
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.2f\t%.2f\n",
+			m, st.BuildTime.Round(1e6), st.IndexBytes/1024, distMicros, pathMicros)
+	}
+	tw.Flush()
+	fmt.Println("\nExpected shape (paper §4.7): Dijkstra slowest by orders of magnitude;")
+	fmt.Println("CH smallest index; SILC fastest shortest paths; PCPD dominated by SILC.")
+}
+
+func timePerQuery(f func(), n int) float64 {
+	start := time.Now()
+	f()
+	return float64(time.Since(start).Nanoseconds()) / 1e3 / float64(n)
+}

@@ -1,0 +1,77 @@
+// Navigation: a commercial-navigation-style route between two far-apart
+// locations, printed leg by leg with coordinates and cumulative travel
+// time. Uses CH for the route (the paper's recommended all-rounder) and
+// shows the shortcut-unpacking cost difference between a distance query
+// and a full shortest-path query (§4.6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"roadnet"
+)
+
+func main() {
+	g, err := roadnet.GeneratePreset("FL") // ~22k vertices
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := roadnet.NewIndex(roadnet.CH, g, roadnet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick two far-apart corners of the map.
+	b := g.Bounds()
+	var src, dst roadnet.VertexID = -1, -1
+	for v := 0; v < g.NumVertices(); v++ {
+		p := g.Coord(roadnet.VertexID(v))
+		if p.X-b.MinX < 2000 && p.Y-b.MinY < 2000 {
+			src = roadnet.VertexID(v)
+		}
+		if b.MaxX-p.X < 2000 && b.MaxY-p.Y < 2000 {
+			dst = roadnet.VertexID(v)
+		}
+	}
+	if src < 0 || dst < 0 {
+		log.Fatal("could not find corner vertices")
+	}
+
+	// Distance-only query vs full path query (averaged over a few runs so
+	// the comparison is not dominated by cold caches).
+	const reps = 20
+	idx.Distance(src, dst) // warm up
+	t0 := time.Now()
+	var dist int64
+	for i := 0; i < reps; i++ {
+		dist = idx.Distance(src, dst)
+	}
+	distTime := time.Since(t0) / reps
+	t0 = time.Now()
+	var path []roadnet.VertexID
+	for i := 0; i < reps; i++ {
+		path, _ = idx.ShortestPath(src, dst)
+	}
+	pathTime := time.Since(t0) / reps
+	fmt.Printf("route %d -> %d: travel time %d, %d road segments\n", src, dst, dist, len(path)-1)
+	fmt.Printf("distance query: %v, shortest path query: %v (unpacking overhead, see paper §4.6)\n",
+		distTime, pathTime)
+
+	// Print a condensed turn sheet: every 20th waypoint.
+	fmt.Println("\nwaypoints (every 20th):")
+	var cum int64
+	prev := path[0]
+	for i, v := range path {
+		if i > 0 {
+			w, _ := g.HasEdge(prev, v)
+			cum += int64(w)
+			prev = v
+		}
+		if i%20 == 0 || i == len(path)-1 {
+			p := g.Coord(v)
+			fmt.Printf("  #%-4d vertex %-7d at (%7d, %7d)  elapsed %d\n", i, v, p.X, p.Y, cum)
+		}
+	}
+}

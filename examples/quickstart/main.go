@@ -1,0 +1,44 @@
+// Quickstart: generate a road network, build a Contraction Hierarchies
+// index, and answer a shortest-path and a distance query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roadnet"
+)
+
+func main() {
+	// A synthetic road network with ~10,000 vertices; Generate is seeded,
+	// so this program is fully reproducible.
+	g := roadnet.Generate(roadnet.GenParams{N: 10000, Seed: 42})
+	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// CH is the paper's recommendation when both space and time matter
+	// (§5: "a preferable choice when both space efficiency and time
+	// efficiency are major concerns").
+	idx, err := roadnet.NewIndex(roadnet.CH, g, roadnet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("CH index: built in %v, %d KB\n", st.BuildTime.Round(1e6), st.IndexBytes/1024)
+
+	s, t := roadnet.VertexID(0), roadnet.VertexID(g.NumVertices()-1)
+
+	// Distance query: just the length of the shortest path.
+	fmt.Printf("distance %d -> %d: %d\n", s, t, idx.Distance(s, t))
+
+	// Shortest path query: the edge sequence itself.
+	path, dist := idx.ShortestPath(s, t)
+	fmt.Printf("path has %d vertices, total weight %d\n", len(path), dist)
+	fmt.Printf("first hops: %v ...\n", path[:min(6, len(path))])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+// Package alt implements ALT (A*, Landmarks, Triangle inequality) of
+// Goldberg and Harrelson, surveyed in the paper's Appendix A as related
+// work: a small set of landmarks is selected, the distance from every
+// vertex to every landmark is precomputed, and queries run A* with the
+// lower bound max_L |dist(L, t) - dist(L, v)| derived from the triangle
+// inequality.
+//
+// The paper cites prior results showing ALT is dominated by CH in both
+// space and query time; this implementation exists so that the claim can be
+// checked on our testbed (see the ablation benchmarks).
+package alt
+
+import (
+	"time"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// Options configures Build.
+type Options struct {
+	// NumLandmarks is the number of landmarks (default 16).
+	NumLandmarks int
+	// Seed selects the first landmark (farthest-point selection is then
+	// deterministic).
+	Seed int64
+}
+
+// Index is a built ALT index.
+type Index struct {
+	g         *graph.Graph
+	landmarks []graph.VertexID
+	// distTo[l][v] = dist(landmarks[l], v); the graph is undirected, so one
+	// table serves both bound directions.
+	distTo [][]int64
+
+	buildTime time.Duration
+
+	// query state (one concurrent query at a time)
+	dist        []int64
+	parent      []int32
+	gen         []uint32
+	cur         uint32
+	heap        *pq.Heap
+	settledLast int
+}
+
+// Build selects landmarks by farthest-point traversal and precomputes the
+// landmark distance tables.
+func Build(g *graph.Graph, opts Options) *Index {
+	start := time.Now()
+	n := g.NumVertices()
+	if opts.NumLandmarks <= 0 {
+		opts.NumLandmarks = 16
+	}
+	if opts.NumLandmarks > n {
+		opts.NumLandmarks = n
+	}
+	ix := &Index{
+		g:      g,
+		dist:   make([]int64, n),
+		parent: make([]int32, n),
+		gen:    make([]uint32, n),
+		heap:   pq.New(n),
+	}
+	ctx := dijkstra.NewContext(g)
+	// Farthest-point selection: start anywhere, repeatedly add the vertex
+	// maximizing the minimum distance to the chosen landmarks.
+	first := graph.VertexID(opts.Seed % int64(n))
+	if first < 0 {
+		first += graph.VertexID(n)
+	}
+	minDist := make([]int64, n)
+	for i := range minDist {
+		minDist[i] = graph.Infinity
+	}
+	cur := first
+	for len(ix.landmarks) < opts.NumLandmarks {
+		ix.landmarks = append(ix.landmarks, cur)
+		ctx.Run([]graph.VertexID{cur}, dijkstra.Options{})
+		row := make([]int64, n)
+		for v := 0; v < n; v++ {
+			row[v] = ctx.Dist(graph.VertexID(v))
+		}
+		ix.distTo = append(ix.distTo, row)
+		next := graph.VertexID(-1)
+		var nextDist int64 = -1
+		for v := 0; v < n; v++ {
+			if row[v] < graph.Infinity && row[v] < minDist[v] {
+				minDist[v] = row[v]
+			}
+			if minDist[v] < graph.Infinity && minDist[v] > nextDist {
+				nextDist = minDist[v]
+				next = graph.VertexID(v)
+			}
+		}
+		if next < 0 || next == cur {
+			break
+		}
+		cur = next
+	}
+	ix.buildTime = time.Since(start)
+	return ix
+}
+
+// potential returns the ALT lower bound on dist(v, t).
+func (ix *Index) potential(v, t graph.VertexID) int64 {
+	var best int64
+	for l := range ix.landmarks {
+		dv, dt := ix.distTo[l][v], ix.distTo[l][t]
+		if dv >= graph.Infinity || dt >= graph.Infinity {
+			continue
+		}
+		if d := dv - dt; d > best {
+			best = d
+		} else if d := dt - dv; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (ix *Index) reset() {
+	ix.cur++
+	if ix.cur == 0 {
+		for i := range ix.gen {
+			ix.gen[i] = 0
+		}
+		ix.cur = 1
+	}
+	ix.heap.Clear()
+}
+
+// run executes A* from s to t and returns whether t was settled.
+func (ix *Index) run(s, t graph.VertexID) bool {
+	ix.reset()
+	ix.settledLast = 0
+	ix.gen[s] = ix.cur
+	ix.dist[s] = 0
+	ix.parent[s] = -1
+	ix.heap.Push(s, ix.potential(s, t))
+	for !ix.heap.Empty() {
+		v, _ := ix.heap.Pop()
+		ix.settledLast++
+		if v == t {
+			return true
+		}
+		d := ix.dist[v]
+		lo, hi := ix.g.ArcsOf(v)
+		for a := lo; a < hi; a++ {
+			w := ix.g.Head(a)
+			nd := d + int64(ix.g.ArcWeight(a))
+			if ix.gen[w] != ix.cur {
+				ix.gen[w] = ix.cur
+				ix.dist[w] = nd
+				ix.parent[w] = int32(v)
+				ix.heap.Push(w, nd+ix.potential(w, t))
+			} else if nd < ix.dist[w] && ix.heap.Contains(w) {
+				ix.dist[w] = nd
+				ix.parent[w] = int32(v)
+				ix.heap.Push(w, nd+ix.potential(w, t))
+			}
+		}
+	}
+	return false
+}
+
+// Distance answers a distance query.
+func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	if s == t {
+		return 0
+	}
+	if !ix.run(s, t) {
+		return graph.Infinity
+	}
+	return ix.dist[t]
+}
+
+// ShortestPath answers a shortest-path query.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	if s == t {
+		return []graph.VertexID{s}, 0
+	}
+	if !ix.run(s, t) {
+		return nil, graph.Infinity
+	}
+	var rev []graph.VertexID
+	for v := t; v >= 0; v = graph.VertexID(ix.parent[v]) {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, ix.dist[t]
+}
+
+// SettledLast reports the vertices settled by the last query.
+func (ix *Index) SettledLast() int { return ix.settledLast }
+
+// NumLandmarks returns the number of selected landmarks.
+func (ix *Index) NumLandmarks() int { return len(ix.landmarks) }
+
+// BuildTime returns the preprocessing duration.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// SizeBytes reports the landmark table footprint.
+func (ix *Index) SizeBytes() int64 {
+	var size int64
+	for _, row := range ix.distTo {
+		size += int64(len(row)) * 8
+	}
+	return size + int64(len(ix.landmarks))*4
+}

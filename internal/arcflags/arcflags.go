@@ -1,0 +1,251 @@
+// Package arcflags implements Arc Flags (Hilger et al., surveyed in the
+// paper's Appendix A): a grid is imposed on the network and every directed
+// arc is tagged with the set of grid cells it leads to on some shortest
+// path. A query runs Dijkstra's algorithm but relaxes only arcs whose flag
+// for the target's cell is set, pruning edges that cannot be on the way.
+//
+// The paper cites prior work showing Arc Flags inferior to CH in space and
+// query time; this package lets the claim be checked on our testbed (the
+// extension benchmarks do exactly that).
+//
+// Flags are computed exactly, ties included: for each cell C and each
+// boundary vertex b of C, an arc (u -> v) is flagged for C when
+// dist(u, b) = w(u, v) + dist(v, b) — i.e. the arc is tight on some
+// shortest path toward b — and every arc whose head lies in C is flagged
+// for C. Together these cover every shortest path into the cell.
+package arcflags
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// Options configures Build.
+type Options struct {
+	// GridSize is the number of cells per axis (default 8).
+	GridSize int
+	// Workers bounds preprocessing parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Index is a built arc-flags index.
+type Index struct {
+	g      *graph.Graph
+	grid   geom.Grid
+	cellOf []int32
+	words  int
+	// flags[arc*words .. arc*words+words) is the cell bitset of the arc.
+	flags []uint64
+
+	buildTime time.Duration
+
+	// query state
+	dist        []int64
+	parent      []int32
+	gen         []uint32
+	cur         uint32
+	heap        *pq.Heap
+	settledLast int
+}
+
+// Build computes arc flags for g.
+func Build(g *graph.Graph, opts Options) *Index {
+	start := time.Now()
+	if opts.GridSize <= 0 {
+		opts.GridSize = 8
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	ix := &Index{
+		g:      g,
+		grid:   geom.NewGrid(g.Bounds(), opts.GridSize, opts.GridSize),
+		cellOf: make([]int32, n),
+		words:  (opts.GridSize*opts.GridSize + 63) / 64,
+		dist:   make([]int64, n),
+		parent: make([]int32, n),
+		gen:    make([]uint32, n),
+		heap:   pq.New(n),
+	}
+	ix.flags = make([]uint64, g.NumArcs()*ix.words)
+	for v := 0; v < n; v++ {
+		c, r := ix.grid.CellOf(g.Coord(graph.VertexID(v)))
+		ix.cellOf[v] = int32(ix.grid.CellIndex(c, r))
+	}
+
+	// Arcs whose head lies in C are flagged for C.
+	for u := 0; u < n; u++ {
+		lo, hi := g.ArcsOf(graph.VertexID(u))
+		for a := lo; a < hi; a++ {
+			ix.setFlag(a, ix.cellOf[g.Head(a)])
+		}
+	}
+
+	// Boundary vertices per cell.
+	boundary := make([][]graph.VertexID, ix.grid.NumCells())
+	for u := 0; u < n; u++ {
+		cu := ix.cellOf[u]
+		isBoundary := false
+		g.Neighbors(graph.VertexID(u), func(v graph.VertexID, _ graph.Weight, _ int32) bool {
+			if ix.cellOf[v] != cu {
+				isBoundary = true
+				return false
+			}
+			return true
+		})
+		if isBoundary {
+			boundary[cu] = append(boundary[cu], graph.VertexID(u))
+		}
+	}
+
+	// One Dijkstra per boundary vertex; tight arcs toward it get the
+	// cell's flag. Workers own a context each; flag words are written with
+	// atomic-free partitioning per cell (each cell processed by exactly
+	// one worker would still race on shared arcs across cells), so flag
+	// updates go through a mutex-guarded merge per search instead.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	cellCh := make(chan int, opts.Workers*2)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := dijkstra.NewContext(g)
+			local := make([]int32, 0, 1024) // arcs to flag for the current cell
+			for cell := range cellCh {
+				local = local[:0]
+				for _, b := range boundary[cell] {
+					ctx.Run([]graph.VertexID{b}, dijkstra.Options{})
+					for u := 0; u < n; u++ {
+						du := ctx.Dist(graph.VertexID(u))
+						if du >= graph.Infinity {
+							continue
+						}
+						lo, hi := g.ArcsOf(graph.VertexID(u))
+						for a := lo; a < hi; a++ {
+							if ctx.Dist(g.Head(a))+int64(g.ArcWeight(a)) == du {
+								local = append(local, a)
+							}
+						}
+					}
+				}
+				mu.Lock()
+				for _, a := range local {
+					ix.setFlag(a, int32(cell))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for cell := 0; cell < ix.grid.NumCells(); cell++ {
+		cellCh <- cell
+	}
+	close(cellCh)
+	wg.Wait()
+
+	ix.buildTime = time.Since(start)
+	return ix
+}
+
+func (ix *Index) setFlag(arc int32, cell int32) {
+	ix.flags[int(arc)*ix.words+int(cell)/64] |= 1 << (uint(cell) % 64)
+}
+
+func (ix *Index) hasFlag(arc int32, cell int32) bool {
+	return ix.flags[int(arc)*ix.words+int(cell)/64]&(1<<(uint(cell)%64)) != 0
+}
+
+func (ix *Index) reset() {
+	ix.cur++
+	if ix.cur == 0 {
+		for i := range ix.gen {
+			ix.gen[i] = 0
+		}
+		ix.cur = 1
+	}
+	ix.heap.Clear()
+}
+
+// run executes the flag-pruned Dijkstra from s toward t.
+func (ix *Index) run(s, t graph.VertexID) bool {
+	ix.reset()
+	ix.settledLast = 0
+	target := ix.cellOf[t]
+	ix.gen[s] = ix.cur
+	ix.dist[s] = 0
+	ix.parent[s] = -1
+	ix.heap.Push(s, 0)
+	for !ix.heap.Empty() {
+		v, d := ix.heap.Pop()
+		ix.settledLast++
+		if v == t {
+			return true
+		}
+		lo, hi := ix.g.ArcsOf(v)
+		for a := lo; a < hi; a++ {
+			if !ix.hasFlag(a, target) {
+				continue
+			}
+			w := ix.g.Head(a)
+			nd := d + int64(ix.g.ArcWeight(a))
+			if ix.gen[w] != ix.cur {
+				ix.gen[w] = ix.cur
+				ix.dist[w] = nd
+				ix.parent[w] = int32(v)
+				ix.heap.Push(w, nd)
+			} else if nd < ix.dist[w] && ix.heap.Contains(w) {
+				ix.dist[w] = nd
+				ix.parent[w] = int32(v)
+				ix.heap.Push(w, nd)
+			}
+		}
+	}
+	return false
+}
+
+// Distance answers a distance query.
+func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	if s == t {
+		return 0
+	}
+	if !ix.run(s, t) {
+		return graph.Infinity
+	}
+	return ix.dist[t]
+}
+
+// ShortestPath answers a shortest-path query.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	if s == t {
+		return []graph.VertexID{s}, 0
+	}
+	if !ix.run(s, t) {
+		return nil, graph.Infinity
+	}
+	var rev []graph.VertexID
+	for v := t; v >= 0; v = graph.VertexID(ix.parent[v]) {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, ix.dist[t]
+}
+
+// SettledLast reports the vertices settled by the last query.
+func (ix *Index) SettledLast() int { return ix.settledLast }
+
+// BuildTime returns the preprocessing duration.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// SizeBytes reports the flag table footprint.
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.flags))*8 + int64(len(ix.cellOf))*4
+}

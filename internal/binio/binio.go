@@ -1,0 +1,193 @@
+// Package binio provides the little-endian binary encoding helpers used to
+// serialize the built indexes (CH, SILC, TNR) to disk. Preprocessing the
+// larger datasets takes minutes to hours (Figure 6(b)); persisting the
+// result is what a production deployment would do, so the library supports
+// it for every index whose construction is expensive.
+//
+// The format is length-prefixed primitive slices; each index adds a magic
+// string and a version byte on top (see the Save/Read functions of the
+// index packages).
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxSliceLen caps decoded slice lengths as a corruption guard (1 << 31
+// elements would be far beyond any index this library builds).
+const maxSliceLen = 1 << 31
+
+// Writer wraps a buffered writer with sticky error handling: after the
+// first failure every Write* call is a no-op and Flush reports the error.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Flush flushes buffered data and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Magic writes a fixed identification string.
+func (w *Writer) Magic(s string) { w.write([]byte(s)) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// I64 writes an int64.
+func (w *Writer) I64(v int64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], uint64(v))
+	w.write(w.buf[:8])
+}
+
+// I32 writes an int32.
+func (w *Writer) I32(v int32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], uint32(v))
+	w.write(w.buf[:4])
+}
+
+// I32Slice writes a length-prefixed []int32.
+func (w *Writer) I32Slice(s []int32) {
+	w.I64(int64(len(s)))
+	for _, v := range s {
+		w.I32(v)
+	}
+}
+
+// U32Slice writes a length-prefixed []uint32.
+func (w *Writer) U32Slice(s []uint32) {
+	w.I64(int64(len(s)))
+	for _, v := range s {
+		w.I32(int32(v))
+	}
+}
+
+// U8Slice writes a length-prefixed []uint8.
+func (w *Writer) U8Slice(s []uint8) {
+	w.I64(int64(len(s)))
+	w.write(s)
+}
+
+// Err returns the sticky error.
+func (w *Writer) Err() error { return w.err }
+
+// Reader wraps a buffered reader with sticky error handling.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader returns a Reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the sticky error.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, p)
+}
+
+// Magic consumes and verifies a fixed identification string.
+func (r *Reader) Magic(want string) {
+	got := make([]byte, len(want))
+	r.read(got)
+	if r.err == nil && string(got) != want {
+		r.err = fmt.Errorf("binio: bad magic %q, want %q", got, want)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	r.read(r.buf[:1])
+	return r.buf[0]
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 {
+	r.read(r.buf[:8])
+	return int64(binary.LittleEndian.Uint64(r.buf[:8]))
+}
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 {
+	r.read(r.buf[:4])
+	return int32(binary.LittleEndian.Uint32(r.buf[:4]))
+}
+
+func (r *Reader) sliceLen() int {
+	n := r.I64()
+	if r.err == nil && (n < 0 || n > maxSliceLen) {
+		r.err = fmt.Errorf("binio: implausible slice length %d", n)
+		return 0
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+// I32Slice reads a length-prefixed []int32.
+func (r *Reader) I32Slice() []int32 {
+	n := r.sliceLen()
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = r.I32()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return s
+}
+
+// U32Slice reads a length-prefixed []uint32.
+func (r *Reader) U32Slice() []uint32 {
+	n := r.sliceLen()
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(r.I32())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return s
+}
+
+// U8Slice reads a length-prefixed []uint8.
+func (r *Reader) U8Slice() []uint8 {
+	n := r.sliceLen()
+	s := make([]uint8, n)
+	r.read(s)
+	if r.err != nil {
+		return nil
+	}
+	return s
+}

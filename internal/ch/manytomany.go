@@ -1,0 +1,119 @@
+package ch
+
+import (
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// This file implements the bucket many-to-many algorithm of Knopp et al.:
+// one backward upward search per target deposits (target index, distance)
+// entries at every vertex it reaches; one forward upward search per source
+// then scans the buckets of the vertices it reaches. Because every shortest
+// path in a contraction hierarchy has a peak vertex reached by both upward
+// searches, the minimum over common vertices is exact.
+//
+// The paper uses CH to accelerate the preprocessing of TNR, SILC and PCPD
+// (§4.1); our TNR preprocessing uses these routines to fill its access-node
+// distance tables.
+
+// ManyToMany computes the full distance table between sources and targets.
+// table[i][j] is dist(sources[i], targets[j]), or graph.Infinity when
+// unreachable.
+func (h *Hierarchy) ManyToMany(sources, targets []graph.VertexID) [][]int64 {
+	table := make([][]int64, len(sources))
+	for i := range table {
+		row := make([]int64, len(targets))
+		for j := range row {
+			row[j] = graph.Infinity
+		}
+		table[i] = row
+	}
+	h.ManyToManyEach(sources, targets, func(si, ti int, d int64) {
+		table[si][ti] = d
+	})
+	return table
+}
+
+// ManyToManyEach computes the same distances as ManyToMany but streams them:
+// fn is called exactly once per (source index, target index) pair with a
+// finite distance. Pairs that are unreachable are not reported. This lets
+// callers with sparse needs (e.g. TNR's hybrid-grid table) avoid
+// materializing a quadratic table.
+func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si, ti int, d int64)) {
+	if len(sources) == 0 || len(targets) == 0 {
+		return
+	}
+	n := h.g.NumVertices()
+	type bucketEntry struct {
+		target int32
+		dist   int64
+	}
+	buckets := make([][]bucketEntry, n)
+
+	// Reusable upward search state.
+	dist := make([]int64, n)
+	gen := make([]uint32, n)
+	var cur uint32
+	heap := pq.New(n)
+	upward := func(root graph.VertexID, visitSettled func(v graph.VertexID, d int64)) {
+		cur++
+		if cur == 0 {
+			for i := range gen {
+				gen[i] = 0
+			}
+			cur = 1
+		}
+		heap.Clear()
+		gen[root] = cur
+		dist[root] = 0
+		heap.Push(root, 0)
+		for !heap.Empty() {
+			v, d := heap.Pop()
+			visitSettled(v, d)
+			for a := h.firstUp[v]; a < h.firstUp[v+1]; a++ {
+				w := h.upHead[a]
+				nd := d + int64(h.upWeight[a])
+				if gen[w] != cur {
+					gen[w] = cur
+					dist[w] = nd
+					heap.Push(w, nd)
+				} else if nd < dist[w] && heap.Contains(w) {
+					dist[w] = nd
+					heap.Push(w, nd)
+				}
+			}
+		}
+	}
+
+	for ti, t := range targets {
+		ti32 := int32(ti)
+		upward(t, func(v graph.VertexID, d int64) {
+			buckets[v] = append(buckets[v], bucketEntry{target: ti32, dist: d})
+		})
+	}
+
+	// Per-source scratch row, reset via the touched list so each pair is
+	// reported once with its minimum.
+	row := make([]int64, len(targets))
+	for j := range row {
+		row[j] = graph.Infinity
+	}
+	var touched []int32
+	for si, s := range sources {
+		touched = touched[:0]
+		upward(s, func(v graph.VertexID, d int64) {
+			for _, be := range buckets[v] {
+				if total := d + be.dist; total < row[be.target] {
+					if row[be.target] == graph.Infinity {
+						touched = append(touched, be.target)
+					}
+					row[be.target] = total
+				}
+			}
+		})
+		for _, ti := range touched {
+			fn(si, int(ti), row[ti])
+			row[ti] = graph.Infinity
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package ch
+
+import (
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// Searcher is a reusable query context over a Hierarchy. Queries run the
+// modified bidirectional Dijkstra of §3.2: both traversals relax only arcs
+// leading to higher-ranked vertices, and the searches may not stop at the
+// first meeting vertex — they continue until the frontier keys reach the
+// best distance found ("there exist a few conditions that a traversal
+// should fulfill before it can terminate").
+//
+// Stall-on-demand: when a vertex v is settled, the searcher checks whether
+// some already-reached higher neighbor w proves a shorter path to v
+// (dist[w] + w(v, w) < dist[v], valid because the graph is undirected). A
+// stalled vertex's arcs cannot lie on a shortest path, so they are not
+// relaxed, shrinking the upward search space. Disable with DisableStalling
+// to measure the effect (see BenchmarkAblationCHStalling).
+//
+// A Searcher is not safe for concurrent use; create one per goroutine.
+type Searcher struct {
+	h *Hierarchy
+
+	// DisableStalling turns off the stall-on-demand optimization.
+	DisableStalling bool
+
+	dist      [2][]int64
+	parentArc [2][]int32 // upward-CSR arc used to reach the vertex, -1 at roots
+	parent    [2][]int32
+	gen       [2][]uint32
+	cur       [2]uint32
+	heap      [2]*pq.Heap
+
+	// lastMeet caches the meeting vertex of the last query for path
+	// reconstruction.
+	lastMeet graph.VertexID
+	lastDist int64
+	// settledCount of the last query, for search-space statistics.
+	settledCount int
+}
+
+// NewSearcher returns a fresh query context for h.
+func (h *Hierarchy) NewSearcher() *Searcher {
+	n := h.g.NumVertices()
+	s := &Searcher{h: h, lastMeet: -1}
+	for side := 0; side < 2; side++ {
+		s.dist[side] = make([]int64, n)
+		s.parentArc[side] = make([]int32, n)
+		s.parent[side] = make([]int32, n)
+		s.gen[side] = make([]uint32, n)
+		s.heap[side] = pq.New(n)
+	}
+	return s
+}
+
+func (s *Searcher) reset() {
+	for side := 0; side < 2; side++ {
+		s.cur[side]++
+		if s.cur[side] == 0 {
+			for i := range s.gen[side] {
+				s.gen[side][i] = 0
+			}
+			s.cur[side] = 1
+		}
+		s.heap[side].Clear()
+	}
+	s.lastMeet = -1
+	s.lastDist = graph.Infinity
+	s.settledCount = 0
+}
+
+func (s *Searcher) visit(side int, v graph.VertexID, d int64, parent, arc int32) {
+	if s.gen[side][v] != s.cur[side] {
+		s.gen[side][v] = s.cur[side]
+		s.dist[side][v] = d
+		s.parent[side][v] = parent
+		s.parentArc[side][v] = arc
+		s.heap[side].Push(v, d)
+	} else if d < s.dist[side][v] && s.heap[side].Contains(v) {
+		s.dist[side][v] = d
+		s.parent[side][v] = parent
+		s.parentArc[side][v] = arc
+		s.heap[side].Push(v, d)
+	}
+}
+
+// Distance returns dist(s, t), or graph.Infinity when t is unreachable.
+func (s *Searcher) Distance(from, to graph.VertexID) int64 {
+	s.run(from, to)
+	return s.lastDist
+}
+
+// SettledLast returns how many vertices the two upward searches of the last
+// query settled, for search-space comparisons against plain Dijkstra.
+func (s *Searcher) SettledLast() int { return s.settledCount }
+
+func (s *Searcher) run(from, to graph.VertexID) {
+	s.reset()
+	if from == to {
+		s.lastDist = 0
+		s.lastMeet = from
+		return
+	}
+	s.visit(0, from, 0, -1, -1)
+	s.visit(1, to, 0, -1, -1)
+	h := s.h
+	best := graph.Infinity
+	meet := graph.VertexID(-1)
+
+	for {
+		k0, k1 := graph.Infinity, graph.Infinity
+		if !s.heap[0].Empty() {
+			_, k0 = s.heap[0].Min()
+		}
+		if !s.heap[1].Empty() {
+			_, k1 = s.heap[1].Min()
+		}
+		if k0 >= best && k1 >= best {
+			break
+		}
+		side := 0
+		if k1 < k0 {
+			side = 1
+		}
+		if s.heap[side].Empty() {
+			side = 1 - side
+		}
+		v, d := s.heap[side].Pop()
+		s.settledCount++
+		// Meeting check: v settled in this side; if the other side has
+		// reached it, the concatenation is a candidate.
+		other := 1 - side
+		if s.gen[other][v] == s.cur[other] {
+			if total := d + s.dist[other][v]; total < best {
+				best = total
+				meet = v
+			}
+		}
+		// Stall-on-demand: a shorter path to v through a higher-ranked
+		// neighbor proves v's outgoing arcs useless for shortest paths.
+		if !s.DisableStalling {
+			stalled := false
+			for a := h.firstUp[v]; a < h.firstUp[v+1]; a++ {
+				w := h.upHead[a]
+				if s.gen[side][w] == s.cur[side] && s.dist[side][w]+int64(h.upWeight[a]) < d {
+					stalled = true
+					break
+				}
+			}
+			if stalled {
+				continue
+			}
+		}
+		for a := h.firstUp[v]; a < h.firstUp[v+1]; a++ {
+			s.visit(side, h.upHead[a], d+int64(h.upWeight[a]), int32(v), a)
+		}
+	}
+	s.lastDist = best
+	s.lastMeet = meet
+}
+
+// ShortestPath returns the exact shortest path in the original graph
+// (shortcuts unpacked) and its length.
+func (s *Searcher) ShortestPath(from, to graph.VertexID) ([]graph.VertexID, int64) {
+	s.run(from, to)
+	if s.lastMeet < 0 {
+		if from == to && s.lastDist == 0 {
+			return []graph.VertexID{from}, 0
+		}
+		return nil, graph.Infinity
+	}
+	if from == to {
+		return []graph.VertexID{from}, 0
+	}
+	// Augmented path: from -> meet (side 0, reversed) then meet -> to.
+	var up []graph.VertexID
+	for v := s.lastMeet; v >= 0; v = s.parent[0][v] {
+		up = append(up, v)
+		if s.parent[0][v] < 0 {
+			break
+		}
+	}
+	augmented := make([]graph.VertexID, 0, 2*len(up))
+	for i := len(up) - 1; i >= 0; i-- {
+		augmented = append(augmented, up[i])
+	}
+	for v := s.parent[1][s.lastMeet]; v >= 0; v = s.parent[1][v] {
+		augmented = append(augmented, v)
+		if s.parent[1][v] < 0 {
+			break
+		}
+	}
+	// Unpack every hop of the augmented path into original edges.
+	path := make([]graph.VertexID, 0, len(augmented)*2)
+	path = append(path, augmented[0])
+	for i := 0; i+1 < len(augmented); i++ {
+		path = s.h.appendUnpacked(path, augmented[i], augmented[i+1])
+	}
+	return path, s.lastDist
+}
+
+// appendUnpacked appends the original-edge expansion of the hop (u, w) to
+// path (excluding u, including w). Shortcuts expand recursively through
+// their middle-vertex tags, exactly as §3.2 describes for c1 -> (v3,v1),(v1,v8).
+func (h *Hierarchy) appendUnpacked(path []graph.VertexID, u, w graph.VertexID) []graph.VertexID {
+	middle, ok := h.unpack[orderedKey(u, w)]
+	if !ok || middle < 0 {
+		// Original edge.
+		return append(path, w)
+	}
+	path = h.appendUnpacked(path, u, graph.VertexID(middle))
+	return h.appendUnpacked(path, graph.VertexID(middle), w)
+}
+
+// Distance is a convenience one-shot query allocating a transient Searcher.
+// Prefer NewSearcher for repeated queries.
+func (h *Hierarchy) Distance(from, to graph.VertexID) int64 {
+	return h.NewSearcher().Distance(from, to)
+}
+
+// ShortestPath is a convenience one-shot path query.
+func (h *Hierarchy) ShortestPath(from, to graph.VertexID) ([]graph.VertexID, int64) {
+	return h.NewSearcher().ShortestPath(from, to)
+}

@@ -1,0 +1,117 @@
+package ch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"roadnet/internal/binio"
+	"roadnet/internal/graph"
+)
+
+// Serialization lets deployments build the hierarchy once and load it at
+// startup. The format stores only the index structures; the road network
+// itself travels separately (e.g. as DIMACS files) and is re-attached at
+// load time, with size checks guarding against mismatched graphs.
+
+const (
+	chMagic   = "ROADNET-CH\n"
+	chVersion = 1
+)
+
+// Save serializes the hierarchy.
+func (h *Hierarchy) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(chMagic)
+	bw.U8(chVersion)
+	bw.I64(int64(h.g.NumVertices()))
+	bw.I64(int64(h.g.NumEdges()))
+	bw.I64(int64(h.numShortcuts))
+	bw.I64(h.buildTime.Nanoseconds())
+	bw.I32Slice(h.rank)
+	bw.I32Slice(h.firstUp)
+	bw.I32Slice(h.upHead)
+	bw.I32Slice(h.upWeight)
+	bw.I32Slice(h.upMiddle)
+	// The unpack map as parallel key/value arrays.
+	bw.I64(int64(len(h.unpack)))
+	for k, middle := range h.unpack {
+		bw.I32(k.u)
+		bw.I32(k.v)
+		bw.I32(middle)
+	}
+	return bw.Flush()
+}
+
+// ReadHierarchy deserializes a hierarchy previously written with Save
+// and re-attaches it to g, which must be the same road network the
+// hierarchy was built on.
+func ReadHierarchy(r io.Reader, g *graph.Graph) (*Hierarchy, error) {
+	br := binio.NewReader(r)
+	br.Magic(chMagic)
+	if v := br.U8(); br.Err() == nil && v != chVersion {
+		return nil, fmt.Errorf("ch: unsupported format version %d", v)
+	}
+	n := br.I64()
+	m := br.I64()
+	if br.Err() == nil && (n != int64(g.NumVertices()) || m != int64(g.NumEdges())) {
+		return nil, fmt.Errorf("ch: index was built for a %dx%d graph, got %dx%d",
+			n, m, g.NumVertices(), g.NumEdges())
+	}
+	h := &Hierarchy{g: g}
+	h.numShortcuts = int(br.I64())
+	h.buildTime = time.Duration(br.I64())
+	h.rank = br.I32Slice()
+	h.firstUp = br.I32Slice()
+	h.upHead = br.I32Slice()
+	h.upWeight = br.I32Slice()
+	h.upMiddle = br.I32Slice()
+	count := br.I64()
+	if br.Err() != nil {
+		return nil, fmt.Errorf("ch: reading index: %w", br.Err())
+	}
+	if count < 0 || count > int64(len(h.upHead))+m {
+		return nil, fmt.Errorf("ch: implausible unpack table size %d", count)
+	}
+	h.unpack = make(map[pairKey]int32, count)
+	for i := int64(0); i < count; i++ {
+		u := br.I32()
+		v := br.I32()
+		middle := br.I32()
+		h.unpack[pairKey{u: u, v: v}] = middle
+	}
+	if br.Err() != nil {
+		return nil, fmt.Errorf("ch: reading index: %w", br.Err())
+	}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// validate performs structural checks on a deserialized hierarchy so that
+// corrupted files fail fast instead of producing wrong query results.
+func (h *Hierarchy) validate() error {
+	n := h.g.NumVertices()
+	if len(h.rank) != n || len(h.firstUp) != n+1 {
+		return fmt.Errorf("ch: index arrays sized for a different graph")
+	}
+	arcs := len(h.upHead)
+	if len(h.upWeight) != arcs || len(h.upMiddle) != arcs {
+		return fmt.Errorf("ch: inconsistent upward arc arrays")
+	}
+	if n > 0 && int(h.firstUp[n]) != arcs {
+		return fmt.Errorf("ch: firstUp does not cover the arc array")
+	}
+	for v := 0; v < n; v++ {
+		if h.firstUp[v] > h.firstUp[v+1] {
+			return fmt.Errorf("ch: firstUp not monotone at %d", v)
+		}
+	}
+	for _, head := range h.upHead {
+		if head < 0 || int(head) >= n {
+			return fmt.Errorf("ch: arc head %d out of range", head)
+		}
+	}
+	return nil
+}

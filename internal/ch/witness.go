@@ -1,0 +1,130 @@
+package ch
+
+import (
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// witnessSearcher runs the local Dijkstra searches that decide, while
+// contracting a vertex v, whether a neighbor pair (u, w) needs a shortcut:
+// a shortcut is required iff no "witness" path from u to w that avoids v is
+// at most as short as the path through v. The search is budgeted — if the
+// budget runs out before a witness is found, the shortcut is added anyway,
+// which can only cost space, never correctness.
+type witnessSearcher struct {
+	adj        [][]halfEdge
+	contracted []bool
+	limit      int
+
+	dist []int64
+	gen  []uint32
+	cur  uint32
+	heap *pq.Heap
+}
+
+func newWitnessSearcher(n int, adj [][]halfEdge, contracted []bool, limit int) *witnessSearcher {
+	return &witnessSearcher{
+		adj:        adj,
+		contracted: contracted,
+		limit:      limit,
+		dist:       make([]int64, n),
+		gen:        make([]uint32, n),
+		heap:       pq.New(n),
+	}
+}
+
+// simulate enumerates the shortcuts contraction of v would create. For each
+// uncontracted neighbor pair (u, w) whose shortest connection runs through
+// v, emit(u, w, d(u,v)+d(v,w)) is called (when emit is non-nil). The number
+// of shortcuts is returned, so the same routine serves both the priority
+// computation (emit == nil) and the actual contraction.
+func (ws *witnessSearcher) simulate(v graph.VertexID, emit func(u, w graph.VertexID, weight int64)) int {
+	// Collect uncontracted neighbors and the minimal weight to each.
+	var nbs []halfEdge
+	for _, e := range ws.adj[v] {
+		if !ws.contracted[e.to] {
+			nbs = append(nbs, e)
+		}
+	}
+	if len(nbs) < 2 {
+		return 0
+	}
+	count := 0
+	for i, eu := range nbs {
+		// One witness search from u covers all targets w.
+		var maxTarget int64
+		for j, ew := range nbs {
+			if j != i {
+				if int64(ew.w) > maxTarget {
+					maxTarget = int64(ew.w)
+				}
+			}
+		}
+		budget := int64(eu.w) + maxTarget
+		ws.search(eu.to, v, budget)
+		for j := i + 1; j < len(nbs); j++ {
+			ew := nbs[j]
+			through := int64(eu.w) + int64(ew.w)
+			if wd := ws.distOf(ew.to); wd <= through {
+				continue // witness found: no shortcut needed
+			}
+			count++
+			if emit != nil {
+				emit(eu.to, ew.to, through)
+			}
+		}
+	}
+	return count
+}
+
+func (ws *witnessSearcher) distOf(v graph.VertexID) int64 {
+	if ws.gen[v] != ws.cur {
+		return graph.Infinity
+	}
+	return ws.dist[v]
+}
+
+// search runs a budgeted Dijkstra from s on the uncontracted residual graph,
+// excluding vertex banned, stopping at distance > maxDist or after the
+// settle limit.
+func (ws *witnessSearcher) search(s, banned graph.VertexID, maxDist int64) {
+	ws.cur++
+	if ws.cur == 0 {
+		for i := range ws.gen {
+			ws.gen[i] = 0
+		}
+		ws.cur = 1
+	}
+	ws.heap.Clear()
+	ws.gen[s] = ws.cur
+	ws.dist[s] = 0
+	ws.heap.Push(s, 0)
+	settledCount := 0
+	for !ws.heap.Empty() {
+		v, d := ws.heap.Pop()
+		if d > maxDist {
+			return
+		}
+		settledCount++
+		if settledCount > ws.limit {
+			return
+		}
+		for _, e := range ws.adj[v] {
+			if e.to == banned || ws.contracted[e.to] {
+				continue
+			}
+			nd := d + int64(e.w)
+			if nd > maxDist {
+				continue
+			}
+			if ws.gen[e.to] != ws.cur {
+				ws.gen[e.to] = ws.cur
+				ws.dist[e.to] = nd
+				ws.heap.Push(e.to, nd)
+			} else if nd < ws.dist[e.to] && ws.heap.Contains(e.to) {
+				ws.dist[e.to] = nd
+				ws.heap.Push(e.to, nd)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package core is the paper's actual contribution rendered as code: a
+// single experimental framework in which all five techniques — the
+// bidirectional Dijkstra baseline, CH, TNR, SILC and PCPD (plus the ALT
+// extension) — are built behind one interface and measured under identical
+// conditions: same graphs, same query workloads, same timing and space
+// accounting, and the same memory-ceiling rule the paper applies ("we
+// report the results of a technique on a dataset only when the size of its
+// indexing structure is less than 24 GB").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"roadnet/internal/alt"
+	"roadnet/internal/arcflags"
+	"roadnet/internal/ch"
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+	"roadnet/internal/pcpd"
+	"roadnet/internal/silc"
+	"roadnet/internal/tnr"
+	"roadnet/internal/workload"
+)
+
+// Method identifies one of the evaluated techniques.
+type Method string
+
+// The evaluated methods. Dijkstra is the baseline of §3.1; the other four
+// are the techniques compared throughout §4; ALT is the Appendix A
+// extension.
+const (
+	MethodDijkstra Method = "dijkstra"
+	MethodCH       Method = "ch"
+	MethodTNR      Method = "tnr"
+	MethodSILC     Method = "silc"
+	MethodPCPD     Method = "pcpd"
+	MethodALT      Method = "alt"
+	MethodArcFlags Method = "arcflags"
+)
+
+// AllMethods lists the paper's five techniques in presentation order.
+func AllMethods() []Method {
+	return []Method{MethodDijkstra, MethodCH, MethodTNR, MethodSILC, MethodPCPD}
+}
+
+// Stats describes a built index.
+type Stats struct {
+	Method Method
+	// BuildTime is the preprocessing wall-clock time (zero for the
+	// baseline, which has no preprocessing).
+	BuildTime time.Duration
+	// IndexBytes is the in-memory size of the index structures, the
+	// quantity of Figure 6(a).
+	IndexBytes int64
+}
+
+// Index is the unified query interface every technique implements.
+type Index interface {
+	// Method returns the technique's identifier.
+	Method() Method
+	// Distance answers a distance query (§2), returning graph.Infinity for
+	// unreachable pairs.
+	Distance(s, t graph.VertexID) int64
+	// ShortestPath answers a shortest path query (§2), returning the
+	// vertex sequence and the path length, or (nil, graph.Infinity).
+	ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64)
+	// Stats reports preprocessing time and space.
+	Stats() Stats
+}
+
+// ErrIndexTooLarge is returned when an index exceeds the configured memory
+// ceiling, mirroring the paper's 24 GB main-memory rule.
+var ErrIndexTooLarge = errors.New("core: index exceeds the memory ceiling")
+
+// Config tunes index construction for the evaluation.
+type Config struct {
+	// MaxIndexBytes drops indexes larger than this (0 = no ceiling). The
+	// paper's analogue is its 24 GB rule.
+	MaxIndexBytes int64
+	// TNR holds the TNR grid configuration.
+	TNR tnr.Options
+	// CH holds the CH configuration.
+	CH ch.Options
+	// SILC holds the SILC configuration.
+	SILC silc.Options
+	// PCPD holds the PCPD configuration.
+	PCPD pcpd.Options
+	// ALT holds the ALT configuration.
+	ALT alt.Options
+	// ArcFlags holds the arc-flags configuration.
+	ArcFlags arcflags.Options
+	// Hierarchy optionally shares a prebuilt CH across methods (used by
+	// the harness so TNR preprocessing does not rebuild it).
+	Hierarchy *ch.Hierarchy
+}
+
+// BuildIndex constructs the index for a method under cfg.
+func BuildIndex(method Method, g *graph.Graph, cfg Config) (Index, error) {
+	var ix Index
+	switch method {
+	case MethodDijkstra:
+		ix = &dijkstraIndex{bi: dijkstra.NewBidirectional(g)}
+	case MethodCH:
+		h := cfg.Hierarchy
+		if h == nil {
+			h = ch.Build(g, cfg.CH)
+		}
+		ix = &chIndex{h: h, s: h.NewSearcher()}
+	case MethodTNR:
+		opts := cfg.TNR
+		if opts.Hierarchy == nil {
+			opts.Hierarchy = cfg.Hierarchy
+		}
+		t, err := tnr.Build(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		ix = &tnrIndex{t: t}
+	case MethodSILC:
+		s, err := silc.Build(g, cfg.SILC)
+		if err != nil {
+			return nil, err
+		}
+		ix = &silcIndex{s: s}
+	case MethodPCPD:
+		p, err := pcpd.Build(g, cfg.PCPD)
+		if err != nil {
+			return nil, err
+		}
+		ix = &pcpdIndex{p: p}
+	case MethodALT:
+		ix = &altIndex{a: alt.Build(g, cfg.ALT)}
+	case MethodArcFlags:
+		ix = &arcFlagsIndex{a: arcflags.Build(g, cfg.ArcFlags)}
+	default:
+		return nil, fmt.Errorf("core: unknown method %q", method)
+	}
+	if cfg.MaxIndexBytes > 0 && ix.Stats().IndexBytes > cfg.MaxIndexBytes {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, ceiling %d",
+			ErrIndexTooLarge, method, ix.Stats().IndexBytes, cfg.MaxIndexBytes)
+	}
+	return ix, nil
+}
+
+// Measurement is one timing row of a figure: a method's average query time
+// on one query set.
+type Measurement struct {
+	Method  Method
+	SetName string
+	Queries int
+	// AvgMicros is the mean per-query wall time in microseconds, the unit
+	// of every running-time figure in the paper.
+	AvgMicros float64
+}
+
+// MeasureDistance times distance queries over a query set.
+func MeasureDistance(ix Index, qs workload.QuerySet) Measurement {
+	start := time.Now()
+	var sink int64
+	for _, p := range qs.Pairs {
+		sink += ix.Distance(p.S, p.T)
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return Measurement{
+		Method:    ix.Method(),
+		SetName:   qs.Name,
+		Queries:   len(qs.Pairs),
+		AvgMicros: micros(elapsed, len(qs.Pairs)),
+	}
+}
+
+// MeasurePath times shortest-path queries over a query set.
+func MeasurePath(ix Index, qs workload.QuerySet) Measurement {
+	start := time.Now()
+	var sink int
+	for _, p := range qs.Pairs {
+		path, _ := ix.ShortestPath(p.S, p.T)
+		sink += len(path)
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return Measurement{
+		Method:    ix.Method(),
+		SetName:   qs.Name,
+		Queries:   len(qs.Pairs),
+		AvgMicros: micros(elapsed, len(qs.Pairs)),
+	}
+}
+
+func micros(d time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Microseconds()) / float64(n)
+}
+
+// --- adapters ---
+
+type dijkstraIndex struct{ bi *dijkstra.Bidirectional }
+
+func (ix *dijkstraIndex) Method() Method { return MethodDijkstra }
+func (ix *dijkstraIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.bi.Query(s, t).Dist
+}
+func (ix *dijkstraIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.bi.ShortestPath(s, t)
+}
+func (ix *dijkstraIndex) Stats() Stats {
+	return Stats{Method: MethodDijkstra}
+}
+
+type chIndex struct {
+	h *ch.Hierarchy
+	s *ch.Searcher
+}
+
+func (ix *chIndex) Method() Method { return MethodCH }
+func (ix *chIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.s.Distance(s, t)
+}
+func (ix *chIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.s.ShortestPath(s, t)
+}
+func (ix *chIndex) Stats() Stats {
+	return Stats{Method: MethodCH, BuildTime: ix.h.BuildTime(), IndexBytes: ix.h.SizeBytes()}
+}
+
+// Hierarchy exposes the underlying CH for reuse by the harness.
+func (ix *chIndex) Hierarchy() *ch.Hierarchy { return ix.h }
+
+// HierarchyOf extracts the contraction hierarchy from a CH index built by
+// BuildIndex, for sharing with TNR preprocessing.
+func HierarchyOf(ix Index) *ch.Hierarchy {
+	if c, ok := ix.(*chIndex); ok {
+		return c.h
+	}
+	return nil
+}
+
+type tnrIndex struct{ t *tnr.Index }
+
+func (ix *tnrIndex) Method() Method { return MethodTNR }
+func (ix *tnrIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.t.Distance(s, t)
+}
+func (ix *tnrIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.t.ShortestPath(s, t)
+}
+func (ix *tnrIndex) Stats() Stats {
+	return Stats{Method: MethodTNR, BuildTime: ix.t.BuildTime(), IndexBytes: ix.t.SizeBytes()}
+}
+
+// TNROf extracts the TNR index (for fallback statistics).
+func TNROf(ix Index) *tnr.Index {
+	if t, ok := ix.(*tnrIndex); ok {
+		return t.t
+	}
+	return nil
+}
+
+// SILCOf extracts the SILC index from a SILC-method Index, exposing its
+// extras (NearestK distance browsing); nil for other methods.
+func SILCOf(ix Index) *silc.Index {
+	if s, ok := ix.(*silcIndex); ok {
+		return s.s
+	}
+	return nil
+}
+
+type silcIndex struct{ s *silc.Index }
+
+func (ix *silcIndex) Method() Method { return MethodSILC }
+func (ix *silcIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.s.Distance(s, t)
+}
+func (ix *silcIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.s.ShortestPath(s, t)
+}
+func (ix *silcIndex) Stats() Stats {
+	return Stats{Method: MethodSILC, BuildTime: ix.s.BuildTime(), IndexBytes: ix.s.SizeBytes()}
+}
+
+type pcpdIndex struct{ p *pcpd.Index }
+
+func (ix *pcpdIndex) Method() Method { return MethodPCPD }
+func (ix *pcpdIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.p.Distance(s, t)
+}
+func (ix *pcpdIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.p.ShortestPath(s, t)
+}
+func (ix *pcpdIndex) Stats() Stats {
+	return Stats{Method: MethodPCPD, BuildTime: ix.p.BuildTime(), IndexBytes: ix.p.SizeBytes()}
+}
+
+type altIndex struct{ a *alt.Index }
+
+func (ix *altIndex) Method() Method { return MethodALT }
+func (ix *altIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.a.Distance(s, t)
+}
+func (ix *altIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.a.ShortestPath(s, t)
+}
+func (ix *altIndex) Stats() Stats {
+	return Stats{Method: MethodALT, BuildTime: ix.a.BuildTime(), IndexBytes: ix.a.SizeBytes()}
+}
+
+type arcFlagsIndex struct{ a *arcflags.Index }
+
+func (ix *arcFlagsIndex) Method() Method { return MethodArcFlags }
+func (ix *arcFlagsIndex) Distance(s, t graph.VertexID) int64 {
+	return ix.a.Distance(s, t)
+}
+func (ix *arcFlagsIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.a.ShortestPath(s, t)
+}
+func (ix *arcFlagsIndex) Stats() Stats {
+	return Stats{Method: MethodArcFlags, BuildTime: ix.a.BuildTime(), IndexBytes: ix.a.SizeBytes()}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"roadnet/internal/ch"
+	"roadnet/internal/graph"
+	"roadnet/internal/silc"
+	"roadnet/internal/tnr"
+)
+
+// SaveIndex serializes a built index. Supported methods are the ones with
+// expensive preprocessing: CH, TNR and SILC. The baseline needs no index,
+// and PCPD/ALT/ArcFlags rebuild quickly relative to their size on disk.
+func SaveIndex(ix Index, w io.Writer) error {
+	switch v := ix.(type) {
+	case *chIndex:
+		return v.h.Save(w)
+	case *tnrIndex:
+		return v.t.Save(w)
+	case *silcIndex:
+		return v.s.Save(w)
+	default:
+		return fmt.Errorf("core: method %s does not support serialization", ix.Method())
+	}
+}
+
+// LoadIndex deserializes an index of the given method and re-attaches it
+// to g, which must be the network the index was built on.
+func LoadIndex(method Method, r io.Reader, g *graph.Graph) (Index, error) {
+	switch method {
+	case MethodCH:
+		h, err := ch.ReadHierarchy(r, g)
+		if err != nil {
+			return nil, err
+		}
+		return &chIndex{h: h, s: h.NewSearcher()}, nil
+	case MethodTNR:
+		t, err := tnr.ReadIndex(r, g)
+		if err != nil {
+			return nil, err
+		}
+		return &tnrIndex{t: t}, nil
+	case MethodSILC:
+		s, err := silc.ReadIndex(r, g)
+		if err != nil {
+			return nil, err
+		}
+		return &silcIndex{s: s}, nil
+	default:
+		return nil, fmt.Errorf("core: method %s does not support serialization", method)
+	}
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"roadnet/internal/core"
+	"roadnet/internal/testutil"
+	"roadnet/internal/tnr"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	g := testutil.SmallRoad(400, 901)
+	pairs := testutil.SamplePairs(g, 100, 161)
+	for _, m := range []core.Method{core.MethodCH, core.MethodTNR, core.MethodSILC} {
+		ix, err := core.BuildIndex(m, g, core.Config{TNR: tnr.Options{GridSize: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.SaveIndex(ix, &buf); err != nil {
+			t.Fatalf("save %s: %v", m, err)
+		}
+		loaded, err := core.LoadIndex(m, bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			t.Fatalf("load %s: %v", m, err)
+		}
+		if loaded.Method() != m {
+			t.Errorf("loaded method %s, want %s", loaded.Method(), m)
+		}
+		testutil.CheckDistancesAgainstDijkstra(t, g, pairs, loaded.Distance)
+	}
+}
+
+func TestSaveUnsupportedMethods(t *testing.T) {
+	g := testutil.SmallRoad(200, 903)
+	for _, m := range []core.Method{core.MethodDijkstra, core.MethodPCPD, core.MethodALT, core.MethodArcFlags} {
+		ix, err := core.BuildIndex(m, g, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.SaveIndex(ix, &buf); err == nil {
+			t.Errorf("%s: expected serialization-unsupported error", m)
+		}
+		if _, err := core.LoadIndex(m, bytes.NewReader(nil), g); err == nil {
+			t.Errorf("%s: expected load-unsupported error", m)
+		}
+	}
+}
+
+func TestLoadWrongMethodStream(t *testing.T) {
+	g := testutil.SmallRoad(200, 905)
+	chIx, err := core.BuildIndex(core.MethodCH, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.SaveIndex(chIx, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// A CH stream fed to the SILC loader must fail on the magic check.
+	if _, err := core.LoadIndex(core.MethodSILC, bytes.NewReader(buf.Bytes()), g); err == nil {
+		t.Error("cross-method load must fail")
+	}
+}

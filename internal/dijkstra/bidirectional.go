@@ -1,0 +1,175 @@
+package dijkstra
+
+import (
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// Bidirectional implements the bidirectional Dijkstra's algorithm of §3.1:
+// two simultaneous Dijkstra instances grow shortest-path trees from s and t,
+// and the shortest path is found either at the meeting vertex or across an
+// edge joining the two search scopes. It is the paper's baseline technique
+// and also the fallback TNR uses for local queries.
+//
+// A Bidirectional is not safe for concurrent use.
+type Bidirectional struct {
+	g *graph.Graph
+
+	dist   [2][]int64
+	parent [2][]int32
+	gen    [2][]uint32
+	cur    [2]uint32
+	heap   [2]*pq.Heap
+}
+
+// NewBidirectional returns a reusable bidirectional searcher on g.
+func NewBidirectional(g *graph.Graph) *Bidirectional {
+	n := g.NumVertices()
+	b := &Bidirectional{g: g}
+	for side := 0; side < 2; side++ {
+		b.dist[side] = make([]int64, n)
+		b.parent[side] = make([]int32, n)
+		b.gen[side] = make([]uint32, n)
+		b.heap[side] = pq.New(n)
+	}
+	return b
+}
+
+func (b *Bidirectional) reset() {
+	for side := 0; side < 2; side++ {
+		b.cur[side]++
+		if b.cur[side] == 0 {
+			for i := range b.gen[side] {
+				b.gen[side][i] = 0
+			}
+			b.cur[side] = 1
+		}
+		b.heap[side].Clear()
+	}
+}
+
+func (b *Bidirectional) visit(side int, v graph.VertexID, d int64, parent int32) {
+	if b.gen[side][v] != b.cur[side] {
+		b.gen[side][v] = b.cur[side]
+		b.dist[side][v] = d
+		b.parent[side][v] = parent
+		b.heap[side].Push(v, d)
+	} else if d < b.dist[side][v] && b.heap[side].Contains(v) {
+		b.dist[side][v] = d
+		b.parent[side][v] = parent
+		b.heap[side].Push(v, d)
+	}
+}
+
+func (b *Bidirectional) reached(side int, v graph.VertexID) bool {
+	return b.gen[side][v] == b.cur[side]
+}
+
+// Result carries the outcome of one bidirectional query.
+type Result struct {
+	// Dist is the shortest-path distance, or graph.Infinity if t is
+	// unreachable from s.
+	Dist int64
+	// Meet is the vertex on the shortest path where the two search trees
+	// join, or -1 when unreachable.
+	Meet graph.VertexID
+	// Settled is the total number of vertices settled by both searches,
+	// reported so benchmarks can compare search-space sizes.
+	Settled int
+}
+
+// Query computes the shortest-path distance between s and t. The returned
+// Result's Meet vertex can be passed to Path to reconstruct the path.
+func (b *Bidirectional) Query(s, t graph.VertexID) Result {
+	b.reset()
+	if s == t {
+		return Result{Dist: 0, Meet: s}
+	}
+	b.visit(0, s, 0, -1)
+	b.visit(1, t, 0, -1)
+
+	best := graph.Infinity
+	meet := graph.VertexID(-1)
+	settled := 0
+
+	for !b.heap[0].Empty() || !b.heap[1].Empty() {
+		// Alternate by smaller queue head; a finished side stops expanding.
+		k0, k1 := graph.Infinity, graph.Infinity
+		if !b.heap[0].Empty() {
+			_, k0 = b.heap[0].Min()
+		}
+		if !b.heap[1].Empty() {
+			_, k1 = b.heap[1].Min()
+		}
+		// Termination: with best maintained on every arc relaxation, no
+		// undiscovered s-t path can be shorter than topF + topB, so the two
+		// traversals may stop once that sum reaches best. Each search then
+		// explores a ball of roughly dist(s, t)/2, the behaviour §3.1
+		// describes.
+		if k0+k1 >= best {
+			break
+		}
+		side := 0
+		if k1 < k0 {
+			side = 1
+		}
+		v, d := b.heap[side].Pop()
+		settled++
+		other := 1 - side
+		lo, hi := b.g.ArcsOf(v)
+		for a := lo; a < hi; a++ {
+			w := b.g.Head(a)
+			nd := d + int64(b.g.ArcWeight(a))
+			b.visit(side, w, nd, int32(v))
+			// Check for a crossing through w.
+			if b.reached(other, w) {
+				if total := nd + b.dist[other][w]; total < best {
+					best = total
+					meet = w
+				}
+			}
+		}
+	}
+	if meet < 0 {
+		return Result{Dist: graph.Infinity, Meet: -1, Settled: settled}
+	}
+	return Result{Dist: best, Meet: meet, Settled: settled}
+}
+
+// Path reconstructs the s-t path of the last Query call from its Result.
+// It returns nil when the result was unreachable.
+func (b *Bidirectional) Path(r Result) []graph.VertexID {
+	if r.Meet < 0 {
+		return nil
+	}
+	if !b.reached(0, r.Meet) {
+		// s == t query: the search never ran, the path is the single vertex.
+		return []graph.VertexID{r.Meet}
+	}
+	var fwd []graph.VertexID
+	for v := r.Meet; v >= 0; v = b.parent[0][v] {
+		fwd = append(fwd, v)
+		if b.parent[0][v] < 0 {
+			break
+		}
+	}
+	for i, j := 0, len(fwd)-1; i < j; i, j = i+1, j-1 {
+		fwd[i], fwd[j] = fwd[j], fwd[i]
+	}
+	for v := b.parent[1][r.Meet]; v >= 0; v = b.parent[1][v] {
+		fwd = append(fwd, v)
+		if b.parent[1][v] < 0 {
+			break
+		}
+	}
+	return fwd
+}
+
+// ShortestPath is a convenience wrapper returning the path and distance.
+func (b *Bidirectional) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	r := b.Query(s, t)
+	if r.Dist >= graph.Infinity {
+		return nil, graph.Infinity
+	}
+	return b.Path(r), r.Dist
+}

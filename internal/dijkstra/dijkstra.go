@@ -1,0 +1,213 @@
+// Package dijkstra implements Dijkstra's algorithm and the bidirectional
+// variant of Pohl that the paper uses as its baseline (§3.1). A reusable,
+// generation-stamped search context makes repeated queries cheap: arrays are
+// allocated once per context and invalidated in O(1) between queries.
+//
+// The unidirectional search doubles as the ground truth in tests and as the
+// workhorse of the preprocessing phases of TNR, SILC and PCPD.
+package dijkstra
+
+import (
+	"roadnet/internal/graph"
+	"roadnet/internal/pq"
+)
+
+// Context holds the per-search state for unidirectional Dijkstra runs on a
+// fixed graph. A Context is not safe for concurrent use; create one context
+// per goroutine.
+type Context struct {
+	g      *graph.Graph
+	dist   []int64
+	parent []int32 // arc-entering predecessor vertex, -1 at sources
+	gen    []uint32
+	cur    uint32
+	heap   *pq.Heap
+
+	// target marking, generation-stamped so Run does not pay O(n) setup
+	targetGen []uint32
+
+	// settled vertices of the last run, in settle order
+	settled []graph.VertexID
+}
+
+// NewContext returns a context for searches on g.
+func NewContext(g *graph.Graph) *Context {
+	n := g.NumVertices()
+	return &Context{
+		g:         g,
+		dist:      make([]int64, n),
+		parent:    make([]int32, n),
+		gen:       make([]uint32, n),
+		heap:      pq.New(n),
+		targetGen: make([]uint32, n),
+	}
+}
+
+// Graph returns the graph this context searches.
+func (c *Context) Graph() *graph.Graph { return c.g }
+
+func (c *Context) reset() {
+	c.cur++
+	if c.cur == 0 { // uint32 wrap: invalidate everything explicitly
+		for i := range c.gen {
+			c.gen[i] = 0
+			c.targetGen[i] = 0
+		}
+		c.cur = 1
+	}
+	c.heap.Clear()
+	c.settled = c.settled[:0]
+}
+
+func (c *Context) visit(v graph.VertexID, d int64, parent int32) {
+	if c.gen[v] != c.cur {
+		c.gen[v] = c.cur
+		c.dist[v] = d
+		c.parent[v] = parent
+		c.heap.Push(v, d)
+	} else if d < c.dist[v] && c.heap.Contains(v) {
+		c.dist[v] = d
+		c.parent[v] = parent
+		c.heap.Push(v, d)
+	}
+}
+
+// Dist returns the distance of v computed by the last search, or
+// graph.Infinity if v was not reached.
+func (c *Context) Dist(v graph.VertexID) int64 {
+	if c.gen[v] != c.cur {
+		return graph.Infinity
+	}
+	return c.dist[v]
+}
+
+// Reached reports whether v was reached (settled or queued) by the last search.
+func (c *Context) Reached(v graph.VertexID) bool { return c.gen[v] == c.cur }
+
+// Settled returns the vertices settled by the last search in settle order.
+// The slice is reused between runs; callers must not retain it.
+func (c *Context) Settled() []graph.VertexID { return c.settled }
+
+// Parent returns the predecessor of v on the shortest-path tree of the last
+// search, or -1 for sources and unreached vertices.
+func (c *Context) Parent(v graph.VertexID) graph.VertexID {
+	if c.gen[v] != c.cur {
+		return -1
+	}
+	return c.parent[v]
+}
+
+// PathTo reconstructs the path from the source of the last search to t as a
+// vertex sequence, or nil if t was not reached.
+func (c *Context) PathTo(t graph.VertexID) []graph.VertexID {
+	if c.gen[t] != c.cur {
+		return nil
+	}
+	var rev []graph.VertexID
+	for v := t; v >= 0; v = c.parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Options controls optional termination rules of Run.
+type Options struct {
+	// Targets, when non-nil, stops the search once all target vertices have
+	// been settled (or the queue empties).
+	Targets []graph.VertexID
+	// MaxDist, when positive, stops the search once the minimum queue key
+	// exceeds MaxDist; vertices beyond it are left unreached.
+	MaxDist int64
+	// MaxSettled, when positive, stops after settling that many vertices.
+	MaxSettled int
+	// SettleTies, combined with Targets, keeps settling until the queue
+	// minimum exceeds the distance of the last settled target, so that
+	// every vertex at least as close as the farthest target is settled.
+	// TNR's access-node computation needs this to cover tied shortest
+	// paths exactly.
+	SettleTies bool
+}
+
+// Run executes Dijkstra's algorithm from the given sources (multi-source is
+// used by preprocessing code) and returns the number of settled vertices.
+func (c *Context) Run(sources []graph.VertexID, opt Options) int {
+	c.reset()
+	for _, s := range sources {
+		c.visit(s, 0, -1)
+	}
+	remaining := 0
+	haveTargets := opt.Targets != nil
+	if haveTargets {
+		for _, t := range opt.Targets {
+			if c.targetGen[t] != c.cur {
+				c.targetGen[t] = c.cur
+				remaining++
+			}
+		}
+	}
+	tieBound := int64(-1)
+	for !c.heap.Empty() {
+		v, d := c.heap.Pop()
+		if opt.MaxDist > 0 && d > opt.MaxDist {
+			return len(c.settled)
+		}
+		if tieBound >= 0 && d > tieBound {
+			return len(c.settled)
+		}
+		c.settled = append(c.settled, v)
+		if haveTargets && c.targetGen[v] == c.cur {
+			remaining--
+			if remaining == 0 {
+				if !opt.SettleTies {
+					return len(c.settled)
+				}
+				tieBound = d
+			}
+		}
+		if opt.MaxSettled > 0 && len(c.settled) >= opt.MaxSettled {
+			return len(c.settled)
+		}
+		lo, hi := c.g.ArcsOf(v)
+		for a := lo; a < hi; a++ {
+			c.visit(c.g.Head(a), d+int64(c.g.ArcWeight(a)), int32(v))
+		}
+	}
+	return len(c.settled)
+}
+
+// ShortestPath runs a single-pair query and returns the path and distance,
+// or (nil, graph.Infinity) when t is unreachable from s.
+func (c *Context) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	c.Run([]graph.VertexID{s}, Options{Targets: []graph.VertexID{t}})
+	if !c.Reached(t) {
+		return nil, graph.Infinity
+	}
+	return c.PathTo(t), c.Dist(t)
+}
+
+// Distance runs a single-pair distance query.
+func (c *Context) Distance(s, t graph.VertexID) int64 {
+	c.Run([]graph.VertexID{s}, Options{Targets: []graph.VertexID{t}})
+	return c.Dist(t)
+}
+
+// PathWeight sums the edge weights along a vertex path, verifying that each
+// hop is an existing edge. It returns graph.Infinity if a hop is missing.
+// Tests use it to validate the paths returned by every technique.
+func PathWeight(g *graph.Graph, path []graph.VertexID) int64 {
+	if len(path) == 0 {
+		return graph.Infinity
+	}
+	var total int64
+	for i := 0; i+1 < len(path); i++ {
+		w, ok := g.HasEdge(path[i], path[i+1])
+		if !ok {
+			return graph.Infinity
+		}
+		total += int64(w)
+	}
+	return total
+}

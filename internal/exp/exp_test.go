@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment in the sub-second to seconds range.
+func tinyConfig() Config {
+	return Config{
+		Datasets:      []string{"DE", "NH"},
+		QueriesPerSet: 20,
+		Seed:          7,
+		TNRGridSize:   16,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(tinyConfig(), &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced implausibly short output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, e.Paper[:5]) && !strings.Contains(out, "Appendix") {
+				t.Errorf("%s output does not mention its artifact:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunnerSharesLab(t *testing.T) {
+	r := NewRunner(tinyConfig())
+	var first, second bytes.Buffer
+	if err := r.Run("t1", &first); err != nil {
+		t.Fatal(err)
+	}
+	// The second experiment reuses the generated datasets; it must still
+	// produce correct output.
+	if err := r.Run("t2", &second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "Table 1") || !strings.Contains(second.String(), "Table 2") {
+		t.Error("runner outputs wrong")
+	}
+	if err := r.Run("bogus", &first); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("f8"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("f99"); err == nil {
+		t.Error("unknown id should error")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(ids))
+	}
+}
+
+func TestTable1MentionsAllDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(newLab(tinyConfig().withDefaults()), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"DE", "NH", "Delaware", "New Hampshire"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("Table 1 output missing %q", name)
+		}
+	}
+}
+
+func TestAppendixBShowsDefect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAppendixB(newLab(tinyConfig().withDefaults()), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Each trial row ends with "...\t<flawed wrong>\t<corrected wrong>"; the
+	// corrected column must be all zeros and flawed must be non-zero.
+	var sawFlawedWrong bool
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "counterexample-") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("unexpected row %q", line)
+		}
+		if fields[3] != "0" {
+			t.Errorf("corrected TNR wrong on %s", fields[0])
+		}
+		if fields[2] != "0" {
+			sawFlawedWrong = true
+		}
+	}
+	if !sawFlawedWrong {
+		t.Error("flawed TNR produced no wrong answers; the Appendix B defect did not manifest")
+	}
+}
+
+func TestLabMemoryCeilingDropsMethods(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxIndexBytes = 1 // nothing but the baseline fits
+	var buf bytes.Buffer
+	if err := runFigure6(newLab(cfg.withDefaults()), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("expected '-' entries under a tiny memory ceiling")
+	}
+}
+
+func TestLabApplicability(t *testing.T) {
+	cfg := tinyConfig().withDefaults()
+	l := newLab(cfg)
+	if !l.applicable("silc", "DE") {
+		t.Error("SILC should be applicable on DE")
+	}
+	if l.applicable("pcpd", "US") {
+		t.Error("PCPD should not be applicable on US")
+	}
+	if l.applicable("silc", "nope") {
+		t.Error("unknown dataset should be inapplicable")
+	}
+}
+
+func TestPickSpread(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	out := pickSpread(names, 4)
+	if len(out) != 4 || out[0] != "a" || out[3] != "h" {
+		t.Errorf("pickSpread = %v", out)
+	}
+	short := pickSpread([]string{"x"}, 4)
+	if len(short) != 1 {
+		t.Errorf("pickSpread short = %v", short)
+	}
+}

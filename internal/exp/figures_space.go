@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"roadnet/internal/core"
+	"roadnet/internal/tnr"
+)
+
+// runFigure6 reproduces Figure 6: index space (a) and preprocessing time
+// (b) as functions of the dataset size, for CH, TNR, SILC and PCPD.
+// Missing entries ("-") correspond to the paper's curves that stop once an
+// index exceeds the memory budget.
+func runFigure6(l *lab, w io.Writer) error {
+	methods := []core.Method{core.MethodCH, core.MethodTNR, core.MethodSILC, core.MethodPCPD}
+
+	fmt.Fprintln(w, "Figure 6(a): Space Consumption (MB) vs n")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Dataset\tn\tCH\tTNR\tSILC\tPCPD")
+	type row struct {
+		name  string
+		n     int
+		cells []string
+	}
+	var rows []row
+	for _, name := range l.datasets() {
+		g, err := l.graph(name)
+		if err != nil {
+			return err
+		}
+		r := row{name: name, n: g.NumVertices()}
+		for _, m := range methods {
+			ix, err := l.index(m, name)
+			if err != nil {
+				return err
+			}
+			if ix == nil {
+				r.cells = append(r.cells, "-")
+			} else {
+				r.cells = append(r.cells, fmtMB(ix.Stats().IndexBytes))
+			}
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", r.name, r.n, r.cells[0], r.cells[1], r.cells[2], r.cells[3])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 6(b): Preprocessing Time (sec) vs n")
+	tw = newTable(w)
+	fmt.Fprintln(tw, "Dataset\tn\tCH\tTNR\tSILC\tPCPD")
+	for _, name := range l.datasets() {
+		g, err := l.graph(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d", name, g.NumVertices())
+		for _, m := range methods {
+			ix, err := l.index(m, name)
+			if err != nil {
+				return err
+			}
+			if ix == nil {
+				fmt.Fprint(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.2f", ix.Stats().BuildTime.Seconds())
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// tnrVariant builds one of the Appendix E.1 TNR configurations.
+type tnrVariant struct {
+	label string
+	opts  tnr.Options
+}
+
+// tnrVariants returns the grid/fallback combinations of Figures 13-15:
+// a single coarse grid ("128x128" analogue), a single fine grid ("256x256")
+// and the hybrid grid, each with CH or bidirectional Dijkstra fallback.
+func tnrVariants(cfg Config, withFine bool) []tnrVariant {
+	g := cfg.TNRGridSize
+	vs := []tnrVariant{
+		{label: fmt.Sprintf("%dx%d (Dijkstra)", g, g), opts: tnr.Options{GridSize: g, Fallback: tnr.FallbackDijkstra}},
+		{label: fmt.Sprintf("%dx%d (CH)", g, g), opts: tnr.Options{GridSize: g, Fallback: tnr.FallbackCH}},
+		{label: "Hybrid (Dijkstra)", opts: tnr.Options{GridSize: g, Hybrid: true, Fallback: tnr.FallbackDijkstra}},
+		{label: "Hybrid (CH)", opts: tnr.Options{GridSize: g, Hybrid: true, Fallback: tnr.FallbackCH}},
+	}
+	if withFine {
+		fine := tnrVariant{
+			label: fmt.Sprintf("%dx%d (CH)", 2*g, 2*g),
+			opts:  tnr.Options{GridSize: 2 * g, Fallback: tnr.FallbackCH},
+		}
+		vs = append(vs[:2], append([]tnrVariant{fine}, vs[2:]...)...)
+	}
+	return vs
+}
+
+// runFigure13 reproduces Figure 13: TNR space (a) and preprocessing time
+// (b) for the coarse, fine and hybrid grids.
+func runFigure13(l *lab, w io.Writer) error {
+	cfg := l.cfg
+	variants := []tnrVariant{
+		{label: fmt.Sprintf("%dx%d", cfg.TNRGridSize, cfg.TNRGridSize), opts: tnr.Options{GridSize: cfg.TNRGridSize}},
+		{label: fmt.Sprintf("%dx%d", 2*cfg.TNRGridSize, 2*cfg.TNRGridSize), opts: tnr.Options{GridSize: 2 * cfg.TNRGridSize}},
+		{label: "Hybrid", opts: tnr.Options{GridSize: cfg.TNRGridSize, Hybrid: true}},
+	}
+
+	type build struct {
+		space int64
+		secs  float64
+		ok    bool
+	}
+	results := map[string]map[string]build{}
+	for _, name := range l.datasets() {
+		g, err := l.graph(name)
+		if err != nil {
+			return err
+		}
+		h, err := l.hierarchy(name)
+		if err != nil {
+			return err
+		}
+		results[name] = map[string]build{}
+		for _, v := range variants {
+			opts := v.opts
+			opts.Hierarchy = h
+			ix, err := tnr.Build(g, opts)
+			if err != nil {
+				return err
+			}
+			if cfg.MaxIndexBytes > 0 && ix.SizeBytes() > cfg.MaxIndexBytes {
+				results[name][v.label] = build{}
+				continue
+			}
+			results[name][v.label] = build{space: ix.SizeBytes(), secs: ix.BuildTime().Seconds(), ok: true}
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 13(a): TNR Space Consumption (MB) vs n")
+	tw := newTable(w)
+	fmt.Fprint(tw, "Dataset\tn")
+	for _, v := range variants {
+		fmt.Fprintf(tw, "\t%s", v.label)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range l.datasets() {
+		g, _ := l.graph(name)
+		fmt.Fprintf(tw, "%s\t%d", name, g.NumVertices())
+		for _, v := range variants {
+			b := results[name][v.label]
+			if !b.ok {
+				fmt.Fprint(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%s", fmtMB(b.space))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 13(b): TNR Preprocessing Time (sec) vs n")
+	tw = newTable(w)
+	fmt.Fprint(tw, "Dataset\tn")
+	for _, v := range variants {
+		fmt.Fprintf(tw, "\t%s", v.label)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range l.datasets() {
+		g, _ := l.graph(name)
+		fmt.Fprintf(tw, "%s\t%d", name, g.NumVertices())
+		for _, v := range variants {
+			b := results[name][v.label]
+			if !b.ok {
+				fmt.Fprint(tw, "\t-")
+			} else {
+				fmt.Fprintf(tw, "\t%.2f", b.secs)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/gen"
+	"roadnet/internal/graph"
+)
+
+// runTable1 reproduces Table 1: the dataset roster. It prints the paper's
+// sizes next to the scaled synthetic analogues actually generated.
+func runTable1(l *lab, w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: Dataset Characteristics (paper datasets vs scaled synthetic analogues)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Name\tRegion\tPaper n\tPaper m\tOur n\tOur m (arcs)")
+	for _, name := range l.datasets() {
+		p, err := gen.PresetByName(name)
+		if err != nil {
+			return err
+		}
+		g, err := l.graph(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+			p.Name, p.Region, p.PaperVertices, p.PaperEdges, g.NumVertices(), g.NumArcs())
+	}
+	return tw.Flush()
+}
+
+// runTable2 reproduces Table 2: the minimum observed ratio
+// length(P')/length(P) between a shortest path P and the shortest
+// core-disjoint path P' (an upper bound of the PCPD redundancy parameter
+// delta, Appendix C). Ratios at or near 1 explain PCPD's blow-up.
+func runTable2(l *lab, w io.Writer) error {
+	fmt.Fprintln(w, "Table 2: Upper bound of delta (min length(P')/length(P)) per dataset")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Dataset\tmin ratio\tsampled pairs\tpairs with core-disjoint path")
+	for _, name := range l.datasets() {
+		g, err := l.graph(name)
+		if err != nil {
+			return err
+		}
+		ratio, pairs, found := minCoreDisjointRatio(g, l.cfg.Seed, l.cfg.QueriesPerSet/10+20)
+		if found == 0 {
+			fmt.Fprintf(tw, "%s\t-\t%d\t0\n", name, pairs)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.5f\t%d\t%d\n", name, ratio, pairs, found)
+	}
+	return tw.Flush()
+}
+
+// minCoreDisjointRatio samples random pairs, computes the shortest path P
+// and the shortest core-disjoint path P' (no interior vertex of P), and
+// returns the minimum observed length ratio.
+func minCoreDisjointRatio(g *graph.Graph, seed int64, samples int) (minRatio float64, pairs, found int) {
+	rng := rand.New(rand.NewSource(seed + 17))
+	ctx := dijkstra.NewContext(g)
+	n := g.NumVertices()
+	minRatio = 0
+	for i := 0; i < samples; i++ {
+		s := graph.VertexID(rng.Intn(n))
+		t := graph.VertexID(rng.Intn(n))
+		if s == t {
+			continue
+		}
+		path, d := ctx.ShortestPath(s, t)
+		if d >= graph.Infinity || len(path) < 3 {
+			continue // need at least one interior vertex to remove
+		}
+		pairs++
+		dd := coreDisjointDistance(g, path, s, t)
+		if dd >= graph.Infinity {
+			continue
+		}
+		ratio := float64(dd) / float64(d)
+		if found == 0 || ratio < minRatio {
+			minRatio = ratio
+		}
+		found++
+	}
+	return minRatio, pairs, found
+}
+
+// coreDisjointDistance computes the shortest s-t distance avoiding the
+// interior vertices of path, by rebuilding the induced subgraph. Rebuilding
+// is O(n + m) per pair, acceptable for the sampled Table 2 sizes.
+func coreDisjointDistance(g *graph.Graph, path []graph.VertexID, s, t graph.VertexID) int64 {
+	banned := make(map[graph.VertexID]bool, len(path))
+	for _, v := range path[1 : len(path)-1] {
+		banned[v] = true
+	}
+	b := graph.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.AddVertex(g.Coord(graph.VertexID(v)))
+	}
+	for _, e := range g.Edges() {
+		if !banned[e.U] && !banned[e.V] {
+			// Ids are preserved, so AddEdge cannot fail.
+			_ = b.AddEdge(e.U, e.V, e.Weight)
+		}
+	}
+	sub := b.Build()
+	return dijkstra.NewContext(sub).Distance(s, t)
+}

@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"math/rand"
+
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// RandomConnected produces a small random connected graph that is *not*
+// grid-like: a random spanning tree plus extraEdges random chords, with
+// uniformly random weights and random coordinates. It deliberately violates
+// the spatial-coherence assumptions of road networks, which makes it a good
+// adversarial input for correctness tests (every technique must stay exact
+// even when its performance heuristics do not apply).
+func RandomConnected(n, extraEdges int, maxWeight graph.Weight, seed int64) *graph.Graph {
+	if n < 1 {
+		n = 1
+	}
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geom.Point{X: int32(rng.Intn(1 << 16)), Y: int32(rng.Intn(1 << 16))})
+	}
+	type key struct{ u, v graph.VertexID }
+	used := make(map[key]bool)
+	add := func(u, v graph.VertexID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if used[key{u, v}] {
+			return false
+		}
+		used[key{u, v}] = true
+		_ = b.AddEdge(u, v, graph.Weight(1+rng.Intn(int(maxWeight))))
+		return true
+	}
+	// Random spanning tree: attach each vertex to a random earlier vertex.
+	for v := 1; v < n; v++ {
+		add(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+	}
+	for i := 0; i < extraEdges; i++ {
+		add(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+	}
+	return b.Build()
+}

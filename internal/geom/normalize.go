@@ -1,0 +1,63 @@
+package geom
+
+// Normalizer maps points of a bounding rectangle onto a 2^Bits x 2^Bits
+// integer grid, the coordinate space in which SILC's and PCPD's quadtrees
+// and Z-order intervals live.
+type Normalizer struct {
+	bounds Rect
+	bits   uint
+	scaleX int64 // fixed-point multiplier: cell = (p - min) * scale >> shift
+	scaleY int64
+}
+
+// normShift is the fixed-point precision of the normalizer.
+const normShift = 32
+
+// NewNormalizer builds a normalizer of the given rectangle onto a grid with
+// bits bits per axis (1 <= bits <= 16).
+func NewNormalizer(bounds Rect, bits uint) Normalizer {
+	if bits < 1 || bits > 16 {
+		panic("geom: normalizer bits out of range")
+	}
+	cells := int64(1) << bits
+	w := bounds.Width() + 1
+	h := bounds.Height() + 1
+	return Normalizer{
+		bounds: bounds,
+		bits:   bits,
+		scaleX: (cells << normShift) / w,
+		scaleY: (cells << normShift) / h,
+	}
+}
+
+// Bits returns the grid resolution per axis.
+func (n Normalizer) Bits() uint { return n.bits }
+
+// Cell returns the grid cell of p, clamping out-of-bounds points.
+func (n Normalizer) Cell(p Point) (x, y uint32) {
+	cells := int64(1) << n.bits
+	cx := ((int64(p.X) - int64(n.bounds.MinX)) * n.scaleX) >> normShift
+	cy := ((int64(p.Y) - int64(n.bounds.MinY)) * n.scaleY) >> normShift
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= cells {
+		cx = cells - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= cells {
+		cy = cells - 1
+	}
+	return uint32(cx), uint32(cy)
+}
+
+// Code returns the Morton code of p's grid cell; codes occupy 2*Bits bits.
+func (n Normalizer) Code(p Point) uint64 {
+	x, y := n.Cell(p)
+	return MortonEncode(x, y)
+}
+
+// CodeSpaceSize returns the exclusive upper bound of the code space.
+func (n Normalizer) CodeSpaceSize() uint64 { return 1 << (2 * n.bits) }

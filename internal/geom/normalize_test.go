@@ -1,0 +1,74 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizerCellBounds(t *testing.T) {
+	n := NewNormalizer(Rect{MinX: -100, MinY: -100, MaxX: 99, MaxY: 99}, 4)
+	if n.Bits() != 4 {
+		t.Fatalf("Bits = %d", n.Bits())
+	}
+	if n.CodeSpaceSize() != 1<<8 {
+		t.Fatalf("CodeSpaceSize = %d, want 256", n.CodeSpaceSize())
+	}
+	cases := []struct {
+		p    Point
+		x, y uint32
+	}{
+		{Point{X: -100, Y: -100}, 0, 0},
+		{Point{X: 99, Y: 99}, 15, 15},
+		{Point{X: 5, Y: 5}, 8, 8},         // 105/200 * 16 = 8.4 -> cell 8
+		{Point{X: -1000, Y: 1000}, 0, 15}, // clamped
+	}
+	for _, c := range cases {
+		x, y := n.Cell(c.p)
+		if x != c.x || y != c.y {
+			t.Errorf("Cell(%v) = (%d, %d), want (%d, %d)", c.p, x, y, c.x, c.y)
+		}
+	}
+}
+
+func TestNormalizerCodeWithinSpace(t *testing.T) {
+	bounds := Rect{MinX: -5000, MinY: 17, MaxX: 70000, MaxY: 90001}
+	for _, bits := range []uint{1, 8, 16} {
+		n := NewNormalizer(bounds, bits)
+		f := func(x, y int32) bool {
+			return n.Code(Point{X: x, Y: y}) < n.CodeSpaceSize()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("bits=%d: %v", bits, err)
+		}
+	}
+}
+
+func TestNormalizerOrderPreserving(t *testing.T) {
+	// Monotonicity per axis: larger coordinate never maps to a smaller cell.
+	n := NewNormalizer(Rect{MinX: 0, MinY: 0, MaxX: 1 << 20, MaxY: 1 << 20}, 10)
+	f := func(a, b uint32) bool {
+		x1, x2 := int32(a%(1<<20)), int32(b%(1<<20))
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		c1, _ := n.Cell(Point{X: x1})
+		c2, _ := n.Cell(Point{X: x2})
+		return c1 <= c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizerPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bits=%d should panic", bits)
+				}
+			}()
+			NewNormalizer(Rect{MaxX: 10, MaxY: 10}, bits)
+		}()
+	}
+}

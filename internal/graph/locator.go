@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math"
+
+	"roadnet/internal/geom"
+)
+
+// Locator answers nearest-vertex queries ("reverse geocoding"): map
+// services receive coordinates, not vertex ids, so any application built
+// on the query indexes needs this lookup. It buckets vertices into a
+// uniform grid and searches outward ring by ring.
+type Locator struct {
+	g    *Graph
+	grid geom.Grid
+	// cells[i] lists the vertices whose coordinates fall into cell i.
+	cells [][]VertexID
+}
+
+// NewLocator builds a locator over g's vertices. gridSize cells per axis;
+// pass 0 for a size derived from the vertex count.
+func NewLocator(g *Graph, gridSize int) *Locator {
+	if gridSize <= 0 {
+		gridSize = int(math.Sqrt(float64(g.NumVertices()))/2) + 1
+	}
+	l := &Locator{
+		g:    g,
+		grid: geom.NewGrid(g.Bounds(), gridSize, gridSize),
+	}
+	l.cells = make([][]VertexID, l.grid.NumCells())
+	for v := 0; v < g.NumVertices(); v++ {
+		c, r := l.grid.CellOf(g.Coord(VertexID(v)))
+		i := l.grid.CellIndex(c, r)
+		l.cells[i] = append(l.cells[i], VertexID(v))
+	}
+	return l
+}
+
+// Nearest returns the vertex closest to p in Euclidean distance, or -1 for
+// an empty graph.
+func (l *Locator) Nearest(p geom.Point) VertexID {
+	if l.g.NumVertices() == 0 {
+		return -1
+	}
+	pc, pr := l.grid.CellOf(p)
+	best := VertexID(-1)
+	bestD := int64(math.MaxInt64)
+	consider := func(v VertexID) {
+		if d := euclidSq(p, l.g.Coord(v)); d < bestD {
+			bestD = d
+			best = v
+		}
+	}
+	cw, chh := l.grid.CellSize()
+	cell := cw
+	if chh > cell {
+		cell = chh
+	}
+	maxRing := l.grid.Cols + l.grid.Rows
+	for ring := 0; ring <= maxRing; ring++ {
+		for dr := -ring; dr <= ring; dr++ {
+			for dc := -ring; dc <= ring; dc++ {
+				if geom.ChebyshevCellDist(0, 0, dc, dr) != ring {
+					continue // only the ring boundary
+				}
+				c, r := pc+dc, pr+dr
+				if c < 0 || c >= l.grid.Cols || r < 0 || r >= l.grid.Rows {
+					continue
+				}
+				for _, v := range l.cells[l.grid.CellIndex(c, r)] {
+					consider(v)
+				}
+			}
+		}
+		// Every vertex in ring k+1 or beyond lies at least k*cell away
+		// from p (L-infinity lower-bounds Euclidean distance); once the
+		// best candidate beats that bound, no further ring can improve it.
+		if best >= 0 {
+			nextMin := int64(ring) * cell
+			if nextMin*nextMin > bestD {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func euclidSq(a, b geom.Point) int64 {
+	dx := int64(a.X) - int64(b.X)
+	dy := int64(a.Y) - int64(b.Y)
+	return dx*dx + dy*dy
+}

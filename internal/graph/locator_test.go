@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"roadnet/internal/geom"
+)
+
+func locatorFixture(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geom.Point{X: int32(rng.Intn(100000)), Y: int32(rng.Intn(100000))})
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(VertexID(i-1), VertexID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func bruteNearest(g *Graph, p geom.Point) VertexID {
+	best := VertexID(-1)
+	bestD := int64(1) << 62
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := euclidSq(p, g.Coord(VertexID(v))); d < bestD {
+			bestD = d
+			best = VertexID(v)
+		}
+	}
+	return best
+}
+
+func TestLocatorMatchesBruteForce(t *testing.T) {
+	g := locatorFixture(t, 500, 31)
+	l := NewLocator(g, 0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		p := geom.Point{X: int32(rng.Intn(120000) - 10000), Y: int32(rng.Intn(120000) - 10000)}
+		got := l.Nearest(p)
+		want := bruteNearest(g, p)
+		if euclidSq(p, g.Coord(got)) != euclidSq(p, g.Coord(want)) {
+			t.Fatalf("Nearest(%v) = %d (d2=%d), brute force %d (d2=%d)",
+				p, got, euclidSq(p, g.Coord(got)), want, euclidSq(p, g.Coord(want)))
+		}
+	}
+}
+
+func TestLocatorExactVertexPosition(t *testing.T) {
+	g := locatorFixture(t, 100, 33)
+	l := NewLocator(g, 8)
+	for v := 0; v < g.NumVertices(); v += 7 {
+		got := l.Nearest(g.Coord(VertexID(v)))
+		if euclidSq(g.Coord(VertexID(v)), g.Coord(got)) != 0 {
+			t.Errorf("Nearest at vertex %d position returned non-coincident %d", v, got)
+		}
+	}
+}
+
+func TestLocatorEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	l := NewLocator(g, 4)
+	if v := l.Nearest(geom.Point{}); v != -1 {
+		t.Errorf("Nearest on empty graph = %d, want -1", v)
+	}
+}
+
+func TestLocatorSingleVertex(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddVertex(geom.Point{X: 5, Y: 5})
+	g := b.Build()
+	l := NewLocator(g, 4)
+	if v := l.Nearest(geom.Point{X: -1000, Y: 9999}); v != 0 {
+		t.Errorf("Nearest = %d, want 0", v)
+	}
+}

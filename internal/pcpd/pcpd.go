@@ -1,0 +1,567 @@
+// Package pcpd implements Path-Coherent Pairs Decomposition
+// (Sankaranarayanan et al., PVLDB 2009), the second spatial-coherence index
+// of the paper's §3.5.
+//
+// Preprocessing recursively decomposes pairs of quadtree squares (X, Y)
+// until, for every pair, all shortest paths from X to Y share a common
+// element ψ — an edge, or a vertex that is interior to every covered path
+// (the interiority requirement guarantees strict progress of the query
+// recursion). The recursion follows Appendix D: a failing pair of squares
+// is split into 16 sub-pairs (or 4 when only one side is still divisible),
+// and the common-element test is a nested loop over the vertices of X and Y
+// that maintains the set of shared elements and aborts as soon as it
+// becomes empty.
+//
+// A query retrieves the unique pair covering (s, t), splits the path at ψ,
+// and recurses — O(k) lookups for a path of k edges; a distance query
+// computes the path and returns its length.
+package pcpd
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+const noHop = 0xff
+
+// Options configures Build.
+type Options struct {
+	// Bits is the quadtree resolution per axis (default 16).
+	Bits uint
+	// MaxN guards against accidental use on graphs whose first-hop matrix
+	// would not fit in memory (default 20000 vertices; the paper could not
+	// run PCPD beyond its four smallest datasets either).
+	MaxN int
+	// Workers bounds preprocessing parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// psi encodes the common element of a path-coherent pair.
+//   - psi >= 0: a vertex id
+//   - psi == psiNone: no path (unreachable pair)
+//   - edge: psiEdgeFlag | edgeID<<1 | direction (0: path traverses U->V)
+type psiValue = int64
+
+const (
+	psiNone     psiValue = -1
+	psiEdgeFlag psiValue = 1 << 40
+)
+
+type nodeKind uint8
+
+const (
+	kindLeaf    nodeKind = iota // a path-coherent pair: psi applies
+	kindSplit16                 // both squares split: children[qa*4+qb]
+	kindSplitA                  // only X split: children[qa]
+	kindSplitB                  // only Y split: children[qb]
+	kindTable                   // same-cell coordinate collisions: per-pair psi
+)
+
+type node struct {
+	kind     nodeKind
+	psi      psiValue
+	children []*node
+	table    map[[2]graph.VertexID]psiValue
+}
+
+// Index is a built PCPD index.
+type Index struct {
+	g    *graph.Graph
+	norm geom.Normalizer
+	code []uint32
+	// hop[s] is the first-hop adjacency slot from s toward each target
+	// (the all-pairs shortest-path knowledge of §3.5, kept in first-hop
+	// form; it is used during construction and released afterwards).
+	edges []graph.Edge
+	root  *node
+
+	buildTime time.Duration
+	numPairs  int64 // leaves (path-coherent pairs), the paper's |Spcp|
+	numNodes  int64
+}
+
+// Build constructs the PCPD index; it runs one Dijkstra per vertex to build
+// the first-hop matrix and then the recursive pair decomposition.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	start := time.Now()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("pcpd: empty graph")
+	}
+	if opts.MaxN == 0 {
+		opts.MaxN = 20000
+	}
+	if n > opts.MaxN {
+		return nil, fmt.Errorf("pcpd: graph has %d vertices, above the MaxN guard %d", n, opts.MaxN)
+	}
+	if d := g.MaxDegree(); d >= noHop {
+		return nil, fmt.Errorf("pcpd: max degree %d exceeds supported %d", d, noHop)
+	}
+	if opts.Bits == 0 {
+		opts.Bits = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	ix := &Index{
+		g:     g,
+		norm:  geom.NewNormalizer(g.Bounds(), opts.Bits),
+		code:  make([]uint32, n),
+		edges: g.EdgesByID(),
+	}
+	for v := 0; v < n; v++ {
+		ix.code[v] = uint32(ix.norm.Code(g.Coord(graph.VertexID(v))))
+	}
+
+	hop := buildFirstHops(g, opts.Workers)
+
+	order := make([]graph.VertexID, n)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return ix.code[order[i]] < ix.code[order[j]] })
+
+	d := &decomposer{
+		ix:        ix,
+		hop:       hop,
+		order:     order,
+		vertStamp: make([]uint32, n),
+		edgeStamp: make([]uint32, 2*g.NumEdges()),
+	}
+	span := uint64(ix.norm.CodeSpaceSize())
+	ix.root = d.decompose(quad{0, span, 0, n}, quad{0, span, 0, n})
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// buildFirstHops computes the first-hop matrix: hop[s][t] is the adjacency
+// slot of the first edge of the canonical shortest path s -> t.
+func buildFirstHops(g *graph.Graph, workers int) [][]uint8 {
+	n := g.NumVertices()
+	hop := make([][]uint8, n)
+	var wg sync.WaitGroup
+	vch := make(chan graph.VertexID, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := dijkstra.NewContext(g)
+			for v := range vch {
+				row := make([]uint8, n)
+				for i := range row {
+					row[i] = noHop
+				}
+				ctx.Run([]graph.VertexID{v}, dijkstra.Options{})
+				lo, hi := g.ArcsOf(v)
+				for _, u := range ctx.Settled() {
+					if u == v {
+						continue
+					}
+					if p := ctx.Parent(u); p == v {
+						for a := lo; a < hi; a++ {
+							if g.Head(a) == u && int64(g.ArcWeight(a)) == ctx.Dist(u) {
+								row[u] = uint8(a - lo)
+								break
+							}
+						}
+					} else {
+						row[u] = row[p]
+					}
+				}
+				hop[v] = row
+			}
+		}()
+	}
+	for v := 0; v < n; v++ {
+		vch <- graph.VertexID(v)
+	}
+	close(vch)
+	wg.Wait()
+	return hop
+}
+
+// quad is an aligned Morton-code square together with the range of sorted
+// vertices it contains.
+type quad struct {
+	codeLo, span uint64
+	idxLo, idxHi int
+}
+
+func (q quad) empty() bool      { return q.idxLo >= q.idxHi }
+func (q quad) splittable() bool { return q.span > 1 }
+
+// decomposer carries the scratch state of the recursive decomposition.
+type decomposer struct {
+	ix    *Index
+	hop   [][]uint8
+	order []graph.VertexID
+
+	vertStamp []uint32
+	edgeStamp []uint32 // directed: edgeID*2 + dir
+	gen       uint32
+
+	sharedVerts []graph.VertexID
+	sharedEdges []int64
+}
+
+// child returns the q-th Morton quadrant of qd.
+func (d *decomposer) child(qd quad, q uint64) quad {
+	quarter := qd.span / 4
+	lo := qd.codeLo + q*quarter
+	hi := lo + quarter
+	at := qd.idxLo + sort.Search(qd.idxHi-qd.idxLo, func(k int) bool {
+		return uint64(d.ix.code[d.order[qd.idxLo+k]]) >= lo
+	})
+	end := at + sort.Search(qd.idxHi-at, func(k int) bool {
+		return uint64(d.ix.code[d.order[at+k]]) >= hi
+	})
+	return quad{codeLo: lo, span: quarter, idxLo: at, idxHi: end}
+}
+
+// decompose builds the subtree for the square pair (a, b), or nil when the
+// pair covers no queryable vertex pair.
+func (d *decomposer) decompose(a, b quad) *node {
+	if a.empty() || b.empty() {
+		return nil
+	}
+	if a.idxHi-a.idxLo == 1 && b.idxHi-b.idxLo == 1 && d.order[a.idxLo] == d.order[b.idxLo] {
+		return nil // the only pair is (v, v)
+	}
+	if psi, ok := d.coherent(a, b); ok {
+		d.ix.numNodes++
+		d.ix.numPairs++
+		return &node{kind: kindLeaf, psi: psi}
+	}
+	switch {
+	case a.splittable() && b.splittable():
+		nd := &node{kind: kindSplit16, children: make([]*node, 16)}
+		for qa := uint64(0); qa < 4; qa++ {
+			ca := d.child(a, qa)
+			if ca.empty() {
+				continue
+			}
+			for qb := uint64(0); qb < 4; qb++ {
+				nd.children[qa*4+qb] = d.decompose(ca, d.child(b, qb))
+			}
+		}
+		d.ix.numNodes++
+		return nd
+	case a.splittable():
+		nd := &node{kind: kindSplitA, children: make([]*node, 4)}
+		for qa := uint64(0); qa < 4; qa++ {
+			nd.children[qa] = d.decompose(d.child(a, qa), b)
+		}
+		d.ix.numNodes++
+		return nd
+	case b.splittable():
+		nd := &node{kind: kindSplitB, children: make([]*node, 4)}
+		for qb := uint64(0); qb < 4; qb++ {
+			nd.children[qb] = d.decompose(a, d.child(b, qb))
+		}
+		d.ix.numNodes++
+		return nd
+	default:
+		// Coordinate collisions: several vertices share both unit cells.
+		nd := &node{kind: kindTable, table: map[[2]graph.VertexID]psiValue{}}
+		for i := a.idxLo; i < a.idxHi; i++ {
+			for j := b.idxLo; j < b.idxHi; j++ {
+				s, t := d.order[i], d.order[j]
+				if s == t {
+					continue
+				}
+				nd.table[[2]graph.VertexID{s, t}] = d.pairPsi(s, t)
+			}
+		}
+		d.ix.numNodes++
+		d.ix.numPairs += int64(len(nd.table))
+		return nd
+	}
+}
+
+// walkPath invokes fn for every directed edge (arc) of the canonical
+// shortest path s -> t, or returns false when unreachable.
+func (d *decomposer) walkPath(s, t graph.VertexID, fn func(from graph.VertexID, arc int32)) bool {
+	g := d.ix.g
+	cur := s
+	for cur != t {
+		slot := d.hop[cur][t]
+		if slot == noHop {
+			return false
+		}
+		lo, _ := g.ArcsOf(cur)
+		a := lo + int32(slot)
+		fn(cur, a)
+		cur = g.Head(a)
+	}
+	return true
+}
+
+// coherent tests whether all shortest paths between the squares share a
+// common element (the nested-loop test of Appendix D) and returns the
+// chosen ψ. A common edge is preferred; otherwise a vertex that is interior
+// for every pair is required.
+func (d *decomposer) coherent(a, b quad) (psiValue, bool) {
+	first := true
+	anyPath := false
+	for i := a.idxLo; i < a.idxHi; i++ {
+		for j := b.idxLo; j < b.idxHi; j++ {
+			s, t := d.order[i], d.order[j]
+			if s == t {
+				continue
+			}
+			if first {
+				// Seed the shared sets with the first pair's path.
+				d.sharedVerts = d.sharedVerts[:0]
+				d.sharedEdges = d.sharedEdges[:0]
+				ok := d.walkPath(s, t, func(from graph.VertexID, arc int32) {
+					g := d.ix.g
+					to := g.Head(arc)
+					dir := int64(0)
+					if e := d.ix.edges[g.EdgeIDOf(arc)]; e.U != from {
+						dir = 1
+					}
+					d.sharedEdges = append(d.sharedEdges, int64(g.EdgeIDOf(arc))<<1|dir)
+					if to != t {
+						d.sharedVerts = append(d.sharedVerts, to)
+					}
+				})
+				if !ok {
+					// An unreachable pair can only be coherent if *no*
+					// pair has a path (psiNone); any path elsewhere fails.
+					d.sharedVerts = d.sharedVerts[:0]
+					d.sharedEdges = d.sharedEdges[:0]
+				} else {
+					anyPath = true
+				}
+				first = false
+				continue
+			}
+			// Mark this pair's path elements, then intersect.
+			d.gen++
+			if d.gen == 0 {
+				for k := range d.vertStamp {
+					d.vertStamp[k] = 0
+				}
+				for k := range d.edgeStamp {
+					d.edgeStamp[k] = 0
+				}
+				d.gen = 1
+			}
+			g := d.ix.g
+			ok := d.walkPath(s, t, func(from graph.VertexID, arc int32) {
+				to := g.Head(arc)
+				dir := uint32(0)
+				if e := d.ix.edges[g.EdgeIDOf(arc)]; e.U != from {
+					dir = 1
+				}
+				d.edgeStamp[uint32(g.EdgeIDOf(arc))*2+dir] = d.gen
+				if to != t {
+					d.vertStamp[to] = d.gen
+				}
+			})
+			if ok {
+				anyPath = true
+			}
+			// Interior vertices must also exclude this pair's endpoints.
+			d.vertStamp[s] = 0
+			d.vertStamp[t] = 0
+			keepV := d.sharedVerts[:0]
+			if ok {
+				for _, v := range d.sharedVerts {
+					if d.vertStamp[v] == d.gen {
+						keepV = append(keepV, v)
+					}
+				}
+			}
+			d.sharedVerts = keepV
+			keepE := d.sharedEdges[:0]
+			if ok {
+				for _, e := range d.sharedEdges {
+					if d.edgeStamp[e] == d.gen {
+						keepE = append(keepE, e)
+					}
+				}
+			}
+			d.sharedEdges = keepE
+			if anyPath && len(d.sharedVerts) == 0 && len(d.sharedEdges) == 0 {
+				return 0, false
+			}
+		}
+	}
+	if !anyPath {
+		return psiNone, true
+	}
+	if len(d.sharedEdges) > 0 {
+		return psiEdgeFlag | d.sharedEdges[0], true
+	}
+	if len(d.sharedVerts) > 0 {
+		return int64(d.sharedVerts[0]), true
+	}
+	return 0, false
+}
+
+// pairPsi computes ψ for a single pair (used by collision tables).
+func (d *decomposer) pairPsi(s, t graph.VertexID) psiValue {
+	g := d.ix.g
+	// Prefer an interior vertex at the middle of the path; for single-edge
+	// paths use the edge.
+	var arcs []int32
+	var froms []graph.VertexID
+	ok := d.walkPath(s, t, func(from graph.VertexID, arc int32) {
+		arcs = append(arcs, arc)
+		froms = append(froms, from)
+	})
+	if !ok {
+		return psiNone
+	}
+	if len(arcs) == 1 {
+		dir := int64(0)
+		if e := d.ix.edges[g.EdgeIDOf(arcs[0])]; e.U != froms[0] {
+			dir = 1
+		}
+		return psiEdgeFlag | int64(g.EdgeIDOf(arcs[0]))<<1 | dir
+	}
+	mid := g.Head(arcs[len(arcs)/2-1])
+	return int64(mid)
+}
+
+// lookup descends the tree to the unique node covering (s, t).
+func (ix *Index) lookup(s, t graph.VertexID) psiValue {
+	span := uint64(ix.norm.CodeSpaceSize())
+	cs, ct := uint64(ix.code[s]), uint64(ix.code[t])
+	aLo, bLo, aSpan, bSpan := uint64(0), uint64(0), span, span
+	nd := ix.root
+	for nd != nil {
+		switch nd.kind {
+		case kindLeaf:
+			return nd.psi
+		case kindTable:
+			if psi, ok := nd.table[[2]graph.VertexID{s, t}]; ok {
+				return psi
+			}
+			return psiNone
+		case kindSplit16:
+			aSpan /= 4
+			bSpan /= 4
+			qa := (cs - aLo) / aSpan
+			qb := (ct - bLo) / bSpan
+			aLo += qa * aSpan
+			bLo += qb * bSpan
+			nd = nd.children[qa*4+qb]
+		case kindSplitA:
+			aSpan /= 4
+			qa := (cs - aLo) / aSpan
+			aLo += qa * aSpan
+			nd = nd.children[qa]
+		case kindSplitB:
+			bSpan /= 4
+			qb := (ct - bLo) / bSpan
+			bLo += qb * bSpan
+			nd = nd.children[qb]
+		}
+	}
+	return psiNone
+}
+
+// appendPath appends the vertices of the shortest path after s up to and
+// including t, returning the accumulated weight, or false when unreachable.
+func (ix *Index) appendPath(path *[]graph.VertexID, s, t graph.VertexID, total *int64, depth int) bool {
+	if s == t {
+		return true
+	}
+	if depth > ix.g.NumVertices()+2 {
+		return false // defensive: corrupted index
+	}
+	psi := ix.lookup(s, t)
+	switch {
+	case psi == psiNone:
+		return false
+	case psi&psiEdgeFlag != 0:
+		e := ix.edges[(psi&^psiEdgeFlag)>>1]
+		u, v := e.U, e.V
+		if psi&1 != 0 {
+			u, v = v, u
+		}
+		if !ix.appendPath(path, s, u, total, depth+1) {
+			return false
+		}
+		if path != nil {
+			*path = append(*path, v)
+		}
+		*total += int64(e.Weight)
+		return ix.appendPath(path, v, t, total, depth+1)
+	default:
+		w := graph.VertexID(psi)
+		if w == s || w == t {
+			return false // interiority violated: corrupted index
+		}
+		if !ix.appendPath(path, s, w, total, depth+1) {
+			return false
+		}
+		return ix.appendPath(path, w, t, total, depth+1)
+	}
+}
+
+// ShortestPath answers a shortest-path query by recursive decomposition
+// (§3.5), returning the vertex path and its length.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	if s == t {
+		return []graph.VertexID{s}, 0
+	}
+	path := []graph.VertexID{s}
+	var total int64
+	if !ix.appendPath(&path, s, t, &total, 0) {
+		return nil, graph.Infinity
+	}
+	return path, total
+}
+
+// Distance computes the shortest path and returns its length (§3.5: PCPD
+// first computes the path, then returns the sum of its edge weights).
+func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	if !ix.appendPath(nil, s, t, &total, 0) {
+		return graph.Infinity
+	}
+	return total
+}
+
+// NumPairs returns |Spcp|, the number of path-coherent pairs.
+func (ix *Index) NumPairs() int64 { return ix.numPairs }
+
+// NumNodes returns the total node count of the decomposition tree.
+func (ix *Index) NumNodes() int64 { return ix.numNodes }
+
+// BuildTime returns the wall-clock preprocessing duration.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// SizeBytes reports the decomposition tree footprint (the paper's space
+// measurements count exactly this structure, whose constant factor
+// Appendix C analyses).
+func (ix *Index) SizeBytes() int64 {
+	return ix.sizeOf(ix.root) + int64(len(ix.code))*4 + int64(len(ix.edges))*12
+}
+
+func (ix *Index) sizeOf(nd *node) int64 {
+	if nd == nil {
+		return 0
+	}
+	size := int64(48) // node header
+	size += int64(len(nd.children)) * 8
+	size += int64(len(nd.table)) * 24
+	for _, c := range nd.children {
+		size += ix.sizeOf(c)
+	}
+	return size
+}

@@ -1,0 +1,120 @@
+// Package pq implements the addressable binary min-heap used by every
+// Dijkstra-style search in this repository. Items are identified by a dense
+// int32 id (a vertex id), keys are int64 distances, and DecreaseKey is
+// supported through an id -> heap position index.
+package pq
+
+// Heap is an addressable binary min-heap keyed by int64 priorities.
+// The zero value is not usable; call New.
+type Heap struct {
+	ids  []int32 // heap order
+	keys []int64 // keys[i] is the key of ids[i]
+	pos  []int32 // pos[id] = index in ids, or -1 when absent
+}
+
+// New returns a heap able to hold ids in [0, capacity).
+func New(capacity int) *Heap {
+	h := &Heap{pos: make([]int32, capacity)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of items currently on the heap.
+func (h *Heap) Len() int { return len(h.ids) }
+
+// Empty reports whether the heap holds no items.
+func (h *Heap) Empty() bool { return len(h.ids) == 0 }
+
+// Clear removes all items. It runs in time proportional to the number of
+// items on the heap, not the capacity.
+func (h *Heap) Clear() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.keys = h.keys[:0]
+}
+
+// Contains reports whether id is currently on the heap.
+func (h *Heap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current key of id. It must only be called when
+// Contains(id) is true.
+func (h *Heap) Key(id int32) int64 { return h.keys[h.pos[id]] }
+
+// Push inserts id with the given key, or decreases/increases its key if the
+// id is already present.
+func (h *Heap) Push(id int32, key int64) {
+	if p := h.pos[id]; p >= 0 {
+		old := h.keys[p]
+		h.keys[p] = key
+		if key < old {
+			h.up(int(p))
+		} else if key > old {
+			h.down(int(p))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// Min returns the id and key of the minimum item without removing it.
+// It must only be called on a non-empty heap.
+func (h *Heap) Min() (id int32, key int64) { return h.ids[0], h.keys[0] }
+
+// Pop removes and returns the id with the smallest key.
+// It must only be called on a non-empty heap.
+func (h *Heap) Pop() (id int32, key int64) {
+	id, key = h.ids[0], h.keys[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.pos[id] = -1
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+func (h *Heap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.ids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && h.keys[r] < h.keys[l] {
+			small = r
+		}
+		if h.keys[i] <= h.keys[small] {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,118 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapBasic(t *testing.T) {
+	h := New(10)
+	if !h.Empty() {
+		t.Fatal("new heap should be empty")
+	}
+	h.Push(3, 30)
+	h.Push(1, 10)
+	h.Push(2, 20)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	if id, key := h.Min(); id != 1 || key != 10 {
+		t.Fatalf("Min = (%d, %d), want (1, 10)", id, key)
+	}
+	id, key := h.Pop()
+	if id != 1 || key != 10 {
+		t.Fatalf("Pop = (%d, %d), want (1, 10)", id, key)
+	}
+	if h.Contains(1) {
+		t.Fatal("popped id should not be contained")
+	}
+	if !h.Contains(2) || h.Key(2) != 20 {
+		t.Fatal("id 2 should be on the heap with key 20")
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	h := New(5)
+	h.Push(0, 100)
+	h.Push(1, 50)
+	h.Push(2, 75)
+	h.Push(0, 10) // decrease
+	if id, key := h.Min(); id != 0 || key != 10 {
+		t.Fatalf("after decrease, Min = (%d, %d), want (0, 10)", id, key)
+	}
+	h.Push(0, 200) // increase is allowed too
+	if id, _ := h.Min(); id != 1 {
+		t.Fatalf("after increase, Min id = %d, want 1", id)
+	}
+}
+
+func TestHeapClear(t *testing.T) {
+	h := New(4)
+	h.Push(0, 1)
+	h.Push(3, 2)
+	h.Clear()
+	if !h.Empty() || h.Contains(0) || h.Contains(3) {
+		t.Fatal("Clear did not reset heap")
+	}
+	h.Push(3, 9)
+	if id, key := h.Pop(); id != 3 || key != 9 {
+		t.Fatalf("heap unusable after Clear: got (%d, %d)", id, key)
+	}
+}
+
+func TestHeapSortsRandomKeys(t *testing.T) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(42))
+	h := New(n)
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+		h.Push(int32(i), keys[i])
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < n; i++ {
+		_, key := h.Pop()
+		if key != keys[i] {
+			t.Fatalf("pop %d: key %d, want %d", i, key, keys[i])
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap should be empty after popping everything")
+	}
+}
+
+func TestHeapRandomMixedOps(t *testing.T) {
+	// Model-based test against a map.
+	rng := rand.New(rand.NewSource(7))
+	const capacity = 64
+	h := New(capacity)
+	model := map[int32]int64{}
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1: // push/update
+			id := int32(rng.Intn(capacity))
+			key := rng.Int63n(1000)
+			h.Push(id, key)
+			model[id] = key
+		case 2: // pop
+			if len(model) == 0 {
+				continue
+			}
+			id, key := h.Pop()
+			want, ok := model[id]
+			if !ok || want != key {
+				t.Fatalf("op %d: popped (%d, %d), model has %d (present=%v)", op, id, key, want, ok)
+			}
+			for mid, mkey := range model {
+				if mkey < key {
+					t.Fatalf("op %d: popped key %d but model holds smaller key %d (id %d)", op, key, mkey, mid)
+				}
+			}
+			delete(model, id)
+		}
+	}
+	if h.Len() != len(model) {
+		t.Fatalf("length mismatch: heap %d, model %d", h.Len(), len(model))
+	}
+}

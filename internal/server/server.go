@@ -1,0 +1,183 @@
+// Package server exposes a road-network query index over HTTP with a small
+// JSON API — the "online map service" deployment shape the paper's
+// introduction motivates (responsive query processing over memory-resident
+// indexes).
+//
+// Endpoints:
+//
+//	GET /v1/distance?from=ID&to=ID      distance query (§2)
+//	GET /v1/route?from=ID&to=ID         shortest path query (§2)
+//	GET /v1/nearest?x=X&y=Y             nearest vertex to a coordinate
+//	GET /v1/stats                       index and graph statistics
+//
+// The query indexes are single-goroutine structures, so the server
+// serializes queries with a mutex; for multi-core serving, run one index
+// per worker.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"roadnet/internal/core"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// Server serves queries over one graph and one index.
+type Server struct {
+	g       *graph.Graph
+	idx     core.Index
+	locator *graph.Locator
+
+	mu sync.Mutex // indexes are not safe for concurrent queries
+}
+
+// New returns a server for the given graph and index.
+func New(g *graph.Graph, idx core.Index) *Server {
+	return &Server{g: g, idx: idx, locator: graph.NewLocator(g, 0)}
+}
+
+// Handler returns the HTTP handler with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/distance", s.handleDistance)
+	mux.HandleFunc("GET /v1/route", s.handleRoute)
+	mux.HandleFunc("GET /v1/nearest", s.handleNearest)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) vertexParam(r *http.Request, name string) (graph.VertexID, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	id, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if id < 0 || id >= int64(s.g.NumVertices()) {
+		return 0, fmt.Errorf("vertex %d out of range [0, %d)", id, s.g.NumVertices())
+	}
+	return graph.VertexID(id), nil
+}
+
+type distanceResponse struct {
+	From      graph.VertexID `json:"from"`
+	To        graph.VertexID `json:"to"`
+	Reachable bool           `json:"reachable"`
+	Distance  int64          `json:"distance,omitempty"`
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	from, err := s.vertexParam(r, "from")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	to, err := s.vertexParam(r, "to")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.mu.Lock()
+	d := s.idx.Distance(from, to)
+	s.mu.Unlock()
+	resp := distanceResponse{From: from, To: to, Reachable: d < graph.Infinity}
+	if resp.Reachable {
+		resp.Distance = d
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type routeResponse struct {
+	From      graph.VertexID   `json:"from"`
+	To        graph.VertexID   `json:"to"`
+	Reachable bool             `json:"reachable"`
+	Distance  int64            `json:"distance,omitempty"`
+	Vertices  []graph.VertexID `json:"vertices,omitempty"`
+	Coords    [][2]int32       `json:"coords,omitempty"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	from, err := s.vertexParam(r, "from")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	to, err := s.vertexParam(r, "to")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	s.mu.Lock()
+	path, d := s.idx.ShortestPath(from, to)
+	s.mu.Unlock()
+	resp := routeResponse{From: from, To: to, Reachable: path != nil}
+	if path != nil {
+		resp.Distance = d
+		resp.Vertices = path
+		resp.Coords = make([][2]int32, len(path))
+		for i, v := range path {
+			p := s.g.Coord(v)
+			resp.Coords[i] = [2]int32{p.X, p.Y}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type nearestResponse struct {
+	Vertex graph.VertexID `json:"vertex"`
+	X      int32          `json:"x"`
+	Y      int32          `json:"y"`
+}
+
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseInt(q.Get("x"), 10, 32)
+	y, errY := strconv.ParseInt(q.Get("y"), 10, 32)
+	if errX != nil || errY != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"parameters x and y must be integers"})
+		return
+	}
+	v := s.locator.Nearest(geom.Point{X: int32(x), Y: int32(y)})
+	if v < 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{"empty graph"})
+		return
+	}
+	p := s.g.Coord(v)
+	writeJSON(w, http.StatusOK, nearestResponse{Vertex: v, X: p.X, Y: p.Y})
+}
+
+type statsResponse struct {
+	Method      string `json:"method"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	IndexBytes  int64  `json:"index_bytes"`
+	BuildMillis int64  `json:"build_millis"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.idx.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Method:      string(st.Method),
+		Vertices:    s.g.NumVertices(),
+		Edges:       s.g.NumEdges(),
+		IndexBytes:  st.IndexBytes,
+		BuildMillis: st.BuildTime.Milliseconds(),
+	})
+}

@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"roadnet/internal/core"
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+	"roadnet/internal/server"
+	"roadnet/internal/testutil"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := testutil.SmallRoad(900, 951)
+	idx, err := core.BuildIndex(core.MethodCH, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(g, idx).Handler())
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func TestDistanceEndpoint(t *testing.T) {
+	ts, g := newTestServer(t)
+	ctx := dijkstra.NewContext(g)
+	for _, p := range testutil.SamplePairs(g, 20, 171) {
+		var resp struct {
+			From, To  int32
+			Reachable bool
+			Distance  int64
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/distance?from=%d&to=%d", ts.URL, p[0], p[1]), http.StatusOK, &resp)
+		want := ctx.Distance(p[0], p[1])
+		if !resp.Reachable {
+			t.Fatalf("pair (%d,%d) reported unreachable", p[0], p[1])
+		}
+		if resp.Distance != want {
+			t.Fatalf("distance(%d,%d) = %d, want %d", p[0], p[1], resp.Distance, want)
+		}
+	}
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts, g := newTestServer(t)
+	ctx := dijkstra.NewContext(g)
+	p := testutil.SamplePairs(g, 1, 173)[0]
+	var resp struct {
+		Reachable bool
+		Distance  int64
+		Vertices  []graph.VertexID
+		Coords    [][2]int32
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/route?from=%d&to=%d", ts.URL, p[0], p[1]), http.StatusOK, &resp)
+	if !resp.Reachable {
+		t.Fatal("route reported unreachable")
+	}
+	if resp.Distance != ctx.Distance(p[0], p[1]) {
+		t.Fatalf("route distance %d, want %d", resp.Distance, ctx.Distance(p[0], p[1]))
+	}
+	if len(resp.Vertices) != len(resp.Coords) {
+		t.Fatal("coords and vertices length mismatch")
+	}
+	if w := dijkstra.PathWeight(g, resp.Vertices); w != resp.Distance {
+		t.Fatalf("returned route weighs %d, claims %d", w, resp.Distance)
+	}
+}
+
+func TestNearestEndpoint(t *testing.T) {
+	ts, g := newTestServer(t)
+	p := g.Coord(42)
+	var resp struct {
+		Vertex graph.VertexID
+		X, Y   int32
+	}
+	getJSON(t, fmt.Sprintf("%s/v1/nearest?x=%d&y=%d", ts.URL, p.X, p.Y), http.StatusOK, &resp)
+	got := g.Coord(resp.Vertex)
+	if got != p {
+		t.Fatalf("nearest to a vertex position returned non-coincident vertex %d", resp.Vertex)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, g := newTestServer(t)
+	var resp struct {
+		Method   string
+		Vertices int
+		Edges    int
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &resp)
+	if resp.Method != "ch" || resp.Vertices != g.NumVertices() || resp.Edges != g.NumEdges() {
+		t.Fatalf("stats = %+v", resp)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []string{
+		"/v1/distance",                   // missing params
+		"/v1/distance?from=0",            // missing to
+		"/v1/distance?from=abc&to=1",     // non-integer
+		"/v1/distance?from=0&to=9999999", // out of range
+		"/v1/distance?from=-1&to=0",      // negative
+		"/v1/route?from=0&to=notanumber", // bad route param
+		"/v1/nearest?x=a&y=2",            // bad coordinate
+	}
+	for _, path := range cases {
+		var resp struct{ Error string }
+		getJSON(t, ts.URL+path, http.StatusBadRequest, &resp)
+		if resp.Error == "" {
+			t.Errorf("GET %s: missing error message", path)
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts, g := newTestServer(t)
+	ctx := dijkstra.NewContext(g)
+	pairs := testutil.SamplePairs(g, 16, 179)
+	want := make([]int64, len(pairs))
+	for i, p := range pairs {
+		want[i] = ctx.Distance(p[0], p[1])
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, p := range pairs {
+				var resp struct{ Distance int64 }
+				r, err := http.Get(fmt.Sprintf("%s/v1/distance?from=%d&to=%d", ts.URL, p[0], p[1]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+					r.Body.Close()
+					errs <- err
+					return
+				}
+				r.Body.Close()
+				if resp.Distance != want[i] {
+					errs <- fmt.Errorf("concurrent distance mismatch on pair %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

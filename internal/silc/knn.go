@@ -1,0 +1,107 @@
+package silc
+
+import (
+	"fmt"
+	"sort"
+
+	"roadnet/internal/graph"
+)
+
+// k-nearest-neighbor queries. The paper's Appendix A notes that "Samet et
+// al. show that SILC can also be used to achieve superior performance for
+// nearest neighbor queries": the per-region structure admits best-first
+// distance browsing. When Options.EnableNearest is set, Build additionally
+// records, per stored region, the minimum network distance from the source
+// to any vertex of the region. NearestK then scans regions in ascending
+// bound order, refining candidates with exact path walks, and stops as
+// soon as no unexplored region can beat the current k-th candidate.
+
+// Neighbor is one result of a NearestK query.
+type Neighbor struct {
+	V    graph.VertexID
+	Dist int64
+}
+
+// NearestK returns the k vertices nearest to s by network distance, in
+// ascending order (excluding s itself). It requires an index built with
+// EnableNearest.
+func (ix *Index) NearestK(s graph.VertexID, k int) ([]Neighbor, error) {
+	if ix.minDist == nil {
+		return nil, fmt.Errorf("silc: index built without EnableNearest")
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	starts := ix.starts[s]
+	bounds := ix.minDist[s]
+
+	// Regions sorted by their lower bound.
+	type region struct {
+		idx   int
+		bound int64
+	}
+	regions := make([]region, 0, len(starts))
+	for i := range starts {
+		if bounds[i] == invalidMinDist {
+			continue // unreachable region
+		}
+		regions = append(regions, region{idx: i, bound: int64(bounds[i])})
+	}
+	sort.Slice(regions, func(a, b int) bool { return regions[a].bound < regions[b].bound })
+
+	// Candidate set: the k best exact distances seen so far, tracked with
+	// a simple sorted slice (k is small in practice).
+	var best []Neighbor
+	worst := func() int64 {
+		if len(best) < k {
+			return graph.Infinity
+		}
+		return best[len(best)-1].Dist
+	}
+	add := func(v graph.VertexID, d int64) {
+		i := sort.Search(len(best), func(j int) bool { return best[j].Dist > d })
+		best = append(best, Neighbor{})
+		copy(best[i+1:], best[i:])
+		best[i] = Neighbor{V: v, Dist: d}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+
+	for _, r := range regions {
+		if r.bound >= worst() {
+			break // no unexplored region can improve the k-th candidate
+		}
+		lo, hi := ix.regionOrderRange(s, r.idx)
+		for j := lo; j < hi; j++ {
+			u := ix.order[j]
+			if u == s {
+				continue
+			}
+			d := ix.Distance(s, u)
+			if d < worst() {
+				add(u, d)
+			}
+		}
+	}
+	return best, nil
+}
+
+// regionOrderRange returns the index range of ix.order covered by region
+// regionIdx of source s: codes in [starts[regionIdx], starts[regionIdx+1]).
+func (ix *Index) regionOrderRange(s graph.VertexID, regionIdx int) (lo, hi int) {
+	starts := ix.starts[s]
+	from := starts[regionIdx]
+	to := uint32(0xffffffff)
+	bounded := false
+	if regionIdx+1 < len(starts) {
+		to = starts[regionIdx+1]
+		bounded = true
+	}
+	lo = sort.Search(len(ix.order), func(j int) bool { return ix.code[ix.order[j]] >= from })
+	if !bounded {
+		return lo, len(ix.order)
+	}
+	hi = lo + sort.Search(len(ix.order)-lo, func(j int) bool { return ix.code[ix.order[lo+j]] >= to })
+	return lo, hi
+}

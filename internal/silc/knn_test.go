@@ -1,0 +1,161 @@
+package silc_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+	"roadnet/internal/silc"
+	"roadnet/internal/testutil"
+)
+
+func buildNearest(t *testing.T, g *graph.Graph) *silc.Index {
+	t.Helper()
+	ix, err := silc.Build(g, silc.Options{EnableNearest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// bruteNearestK computes the ground truth with one Dijkstra.
+func bruteNearestK(g *graph.Graph, s graph.VertexID, k int) []silc.Neighbor {
+	ctx := dijkstra.NewContext(g)
+	ctx.Run([]graph.VertexID{s}, dijkstra.Options{})
+	var all []silc.Neighbor
+	for _, v := range ctx.Settled() {
+		if v != s {
+			all = append(all, silc.Neighbor{V: v, Dist: ctx.Dist(v)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].V < all[j].V
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestNearestKMatchesGroundTruth(t *testing.T) {
+	g := testutil.SmallRoad(900, 841)
+	ix := buildNearest(t, g)
+	for _, s := range []graph.VertexID{0, 17, 400, graph.VertexID(g.NumVertices() - 1)} {
+		for _, k := range []int{1, 3, 10} {
+			got, err := ix.NearestK(s, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteNearestK(g, s, k)
+			if len(got) != len(want) {
+				t.Fatalf("NearestK(%d, %d): %d results, want %d", s, k, len(got), len(want))
+			}
+			// Distances must match exactly; vertex identity may differ on
+			// ties, so compare the distance multiset.
+			for i := range got {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("NearestK(%d, %d)[%d] dist %d, want %d", s, k, i, got[i].Dist, want[i].Dist)
+				}
+				if got[i].V == s {
+					t.Fatalf("NearestK must exclude the query vertex")
+				}
+			}
+			// And each reported distance must be the true distance of the
+			// reported vertex.
+			ctx := dijkstra.NewContext(g)
+			for _, nb := range got {
+				if d := ctx.Distance(s, nb.V); d != nb.Dist {
+					t.Fatalf("NearestK reported (%d, %d) but true distance is %d", nb.V, nb.Dist, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestKWholeGraph(t *testing.T) {
+	g := testutil.SmallRoad(100, 843)
+	ix := buildNearest(t, g)
+	got, err := ix.NearestK(0, g.NumVertices()+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != g.NumVertices()-1 {
+		t.Fatalf("whole-graph NearestK returned %d, want %d", len(got), g.NumVertices()-1)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted ascending")
+		}
+	}
+}
+
+func TestNearestKDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	g0 := testutil.Figure1()
+	for i := 0; i < 5; i++ {
+		b.AddVertex(g0.Coord(graph.VertexID(i)))
+	}
+	_ = b.AddEdge(0, 1, 2)
+	_ = b.AddEdge(1, 2, 3)
+	_ = b.AddEdge(3, 4, 1)
+	g := b.Build()
+	ix := buildNearest(t, g)
+	got, err := ix.NearestK(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("NearestK from component of size 3 returned %d, want 2", len(got))
+	}
+}
+
+func TestNearestKRequiresOption(t *testing.T) {
+	g := testutil.SmallRoad(100, 845)
+	ix, err := silc.Build(g, silc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.NearestK(0, 3); err == nil {
+		t.Error("NearestK without EnableNearest should error")
+	}
+	ixN := buildNearest(t, g)
+	if res, err := ixN.NearestK(0, 0); err != nil || res != nil {
+		t.Errorf("k=0 should return nil, nil; got %v, %v", res, err)
+	}
+}
+
+func TestNearestKSurvivesSerialization(t *testing.T) {
+	g := testutil.SmallRoad(400, 849)
+	ix := buildNearest(t, g)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := silc.ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix2.NearestK(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteNearestK(g, 7, 5)
+	for i := range want {
+		if got[i].Dist != want[i].Dist {
+			t.Fatalf("after roundtrip NearestK[%d] = %d, want %d", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestNearestKStillExactForQueries(t *testing.T) {
+	// EnableNearest must not change the base query behavior.
+	g := testutil.SmallRoad(400, 847)
+	ix := buildNearest(t, g)
+	testutil.CheckDistancesAgainstDijkstra(t, g, testutil.SamplePairs(g, 200, 191), ix.Distance)
+	testutil.CheckPathsAgainstDijkstra(t, g, testutil.SamplePairs(g, 60, 193), ix.ShortestPath)
+}

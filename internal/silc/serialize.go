@@ -1,0 +1,143 @@
+package silc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"roadnet/internal/binio"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// Serialization: SILC preprocessing is all-pairs shortest paths (§3.4,
+// hours on the paper's datasets), so persisting the built index matters
+// even more than for CH.
+
+const (
+	silcMagic   = "ROADNET-SILC\n"
+	silcVersion = 1
+)
+
+// Save serializes the index.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(silcMagic)
+	bw.U8(silcVersion)
+	bw.I64(int64(ix.g.NumVertices()))
+	bw.I64(int64(ix.g.NumEdges()))
+	bw.U8(uint8(ix.norm.Bits()))
+	bw.I64(ix.buildTime.Nanoseconds())
+	bw.I64(ix.intervals)
+	hasNearest := uint8(0)
+	if ix.minDist != nil {
+		hasNearest = 1
+	}
+	bw.U8(hasNearest)
+	bw.U32Slice(ix.code)
+	if hasNearest != 0 {
+		bw.I32Slice(ix.order)
+	}
+	for v := range ix.starts {
+		bw.U32Slice(ix.starts[v])
+		bw.U8Slice(ix.colors[v])
+		if hasNearest != 0 {
+			bw.I32Slice(ix.minDist[v])
+		}
+		exc := ix.exceptions[v]
+		bw.I64(int64(len(exc)))
+		for target, color := range exc {
+			bw.I32(target)
+			bw.U8(color)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes an index written with Save, re-attaching it to
+// g (the same network it was built on).
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(silcMagic)
+	if v := br.U8(); br.Err() == nil && v != silcVersion {
+		return nil, fmt.Errorf("silc: unsupported format version %d", v)
+	}
+	n := br.I64()
+	m := br.I64()
+	if br.Err() == nil && (n != int64(g.NumVertices()) || m != int64(g.NumEdges())) {
+		return nil, fmt.Errorf("silc: index was built for a %dx%d graph, got %dx%d",
+			n, m, g.NumVertices(), g.NumEdges())
+	}
+	bits := uint(br.U8())
+	if br.Err() != nil {
+		return nil, fmt.Errorf("silc: reading index: %w", br.Err())
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("silc: implausible normalizer bits %d", bits)
+	}
+	ix := &Index{
+		g:          g,
+		norm:       geom.NewNormalizer(g.Bounds(), bits),
+		starts:     make([][]uint32, g.NumVertices()),
+		colors:     make([][]uint8, g.NumVertices()),
+		exceptions: make([]map[graph.VertexID]uint8, g.NumVertices()),
+	}
+	ix.buildTime = time.Duration(br.I64())
+	ix.intervals = br.I64()
+	hasNearest := br.U8() != 0
+	ix.code = br.U32Slice()
+	if br.Err() != nil {
+		return nil, fmt.Errorf("silc: reading index: %w", br.Err())
+	}
+	if len(ix.code) != g.NumVertices() {
+		return nil, fmt.Errorf("silc: code table sized for a different graph")
+	}
+	if hasNearest {
+		ix.order = br.I32Slice()
+		if br.Err() == nil && len(ix.order) != g.NumVertices() {
+			return nil, fmt.Errorf("silc: order table sized for a different graph")
+		}
+		for _, ov := range ix.order {
+			if ov < 0 || int64(ov) >= n {
+				return nil, fmt.Errorf("silc: order entry %d out of range", ov)
+			}
+		}
+		ix.minDist = make([][]int32, g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ix.starts[v] = br.U32Slice()
+		ix.colors[v] = br.U8Slice()
+		if len(ix.starts[v]) != len(ix.colors[v]) {
+			return nil, fmt.Errorf("silc: interval arrays of vertex %d inconsistent", v)
+		}
+		if hasNearest {
+			ix.minDist[v] = br.I32Slice()
+			if br.Err() == nil && len(ix.minDist[v]) != len(ix.starts[v]) {
+				return nil, fmt.Errorf("silc: minDist array of vertex %d inconsistent", v)
+			}
+		}
+		count := br.I64()
+		if br.Err() != nil {
+			return nil, fmt.Errorf("silc: reading index: %w", br.Err())
+		}
+		if count < 0 || count > n {
+			return nil, fmt.Errorf("silc: implausible exception count %d", count)
+		}
+		if count > 0 {
+			exc := make(map[graph.VertexID]uint8, count)
+			for i := int64(0); i < count; i++ {
+				target := br.I32()
+				color := br.U8()
+				if target < 0 || int64(target) >= n {
+					return nil, fmt.Errorf("silc: exception target %d out of range", target)
+				}
+				exc[target] = color
+			}
+			ix.exceptions[v] = exc
+		}
+	}
+	if br.Err() != nil {
+		return nil, fmt.Errorf("silc: reading index: %w", br.Err())
+	}
+	return ix, nil
+}

@@ -1,0 +1,69 @@
+package silc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"roadnet/internal/gen"
+	"roadnet/internal/silc"
+	"roadnet/internal/testutil"
+)
+
+func TestSILCSerializationRoundtrip(t *testing.T) {
+	g := testutil.SmallRoad(900, 821)
+	ix := build(t, g)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := silc.ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.NumIntervals() != ix.NumIntervals() {
+		t.Errorf("intervals %d != %d after roundtrip", ix2.NumIntervals(), ix.NumIntervals())
+	}
+	testutil.CheckDistancesAgainstDijkstra(t, g, testutil.SamplePairs(g, 200, 151), ix2.Distance)
+	testutil.CheckPathsAgainstDijkstra(t, g, testutil.SamplePairs(g, 60, 153), ix2.ShortestPath)
+}
+
+func TestSILCSerializationWithExceptions(t *testing.T) {
+	// Colliding coordinates force exception tables; they must roundtrip.
+	g := gen.RandomConnected(80, 120, 20, 823)
+	ix := build(t, g)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := silc.ReadIndex(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckDistancesAgainstDijkstra(t, g, testutil.AllPairs(g), ix2.Distance)
+}
+
+func TestSILCSerializationRejectsWrongGraph(t *testing.T) {
+	g := testutil.SmallRoad(400, 825)
+	other := testutil.SmallRoad(900, 827)
+	ix := build(t, g)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := silc.ReadIndex(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Error("loading onto a different graph must fail")
+	}
+}
+
+func TestSILCSerializationRejectsTruncation(t *testing.T) {
+	g := testutil.SmallRoad(400, 829)
+	ix := build(t, g)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := silc.ReadIndex(bytes.NewReader(data[:len(data)/3]), g); err == nil {
+		t.Error("truncated stream must fail")
+	}
+}

@@ -1,0 +1,446 @@
+// Package silc implements Spatially Induced Linkage Cognizance (Samet et
+// al., SIGMOD 2008), the spatial-coherence index of the paper's §3.4.
+//
+// Preprocessing computes, for every vertex v, the partition of V \ {v} into
+// equivalence classes by the first hop of the shortest path leaving v, then
+// compresses each partition into a colored region quadtree stored as
+// intervals of a Z-order (Morton) curve (Appendix D): cells are split until
+// every cell holds vertices of a single class, and the resulting aligned
+// squares become contiguous Morton-code intervals kept in a sorted array
+// searched binarily at query time.
+//
+// A shortest-path query walks the path hop by hop — O(k log n) for a path
+// of k edges — and a distance query computes the path and returns its
+// length, exactly as the paper evaluates it.
+package silc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// noHop marks targets with no first hop (unreachable vertices and the
+// source itself).
+const noHop = 0xff
+
+// maxDegree is the largest vertex degree SILC's one-byte color encoding
+// supports; road networks are degree-bounded far below this (§2).
+const maxDegree = noHop
+
+// Options configures Build.
+type Options struct {
+	// Bits is the quadtree resolution per axis (default 16, the finest).
+	Bits uint
+	// Workers bounds preprocessing parallelism (default GOMAXPROCS).
+	Workers int
+	// EnableNearest additionally records a per-region minimum-distance
+	// bound (4 bytes per interval), enabling NearestK distance-browsing
+	// queries (see knn.go).
+	EnableNearest bool
+}
+
+// Index is a built SILC index.
+type Index struct {
+	g    *graph.Graph
+	norm geom.Normalizer
+
+	// Per-source interval tables: starts[v] holds the ascending Morton
+	// codes at which a new region begins, colors[v] the first-hop adjacency
+	// slot of each region.
+	starts [][]uint32
+	colors [][]uint8
+
+	// exceptions lists, per source, the vertices whose Morton cell is
+	// shared with a different-colored vertex (coordinate collisions); the
+	// pair table overrides the interval lookup.
+	exceptions []map[graph.VertexID]uint8
+
+	// code[v] is the Morton code of v.
+	code []uint32
+
+	// NearestK support (EnableNearest): order holds the vertices sorted by
+	// Morton code; minDist[v][i] lower-bounds the network distance from v
+	// to every vertex of region i (invalidMinDist for unreachable regions).
+	order   []graph.VertexID
+	minDist [][]int32
+
+	buildTime time.Duration
+	intervals int64
+}
+
+// invalidMinDist marks regions with no reachable vertex.
+const invalidMinDist = int32(math.MaxInt32)
+
+// Build constructs the SILC index for g by running one Dijkstra per vertex
+// (the all-pairs preprocessing of §3.4).
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	start := time.Now()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("silc: empty graph")
+	}
+	if d := g.MaxDegree(); d >= maxDegree {
+		return nil, fmt.Errorf("silc: max degree %d exceeds supported %d", d, maxDegree)
+	}
+	if opts.Bits == 0 {
+		opts.Bits = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	ix := &Index{
+		g:          g,
+		norm:       geom.NewNormalizer(g.Bounds(), opts.Bits),
+		starts:     make([][]uint32, n),
+		colors:     make([][]uint8, n),
+		exceptions: make([]map[graph.VertexID]uint8, n),
+		code:       make([]uint32, n),
+	}
+	for v := 0; v < n; v++ {
+		ix.code[v] = uint32(ix.norm.Code(g.Coord(graph.VertexID(v))))
+	}
+	// Vertices sorted by Morton code, shared by every per-source build.
+	order := make([]graph.VertexID, n)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return ix.code[order[i]] < ix.code[order[j]] })
+	if opts.EnableNearest {
+		ix.order = order
+		ix.minDist = make([][]int32, n)
+	}
+
+	var wg sync.WaitGroup
+	vch := make(chan graph.VertexID, opts.Workers*4)
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := newSourceBuilder(ix, order)
+			for v := range vch {
+				if err := b.build(v); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	for v := 0; v < n; v++ {
+		vch <- graph.VertexID(v)
+	}
+	close(vch)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for v := 0; v < n; v++ {
+		ix.intervals += int64(len(ix.starts[v]))
+	}
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// sourceBuilder holds the per-goroutine scratch for building one source's
+// interval table.
+type sourceBuilder struct {
+	ix    *Index
+	order []graph.VertexID
+	ctx   *dijkstra.Context
+	hop   []uint8 // first-hop slot per target for the current source
+
+	starts   []uint32
+	colors   []uint8
+	minDists []int32 // used when EnableNearest
+}
+
+func newSourceBuilder(ix *Index, order []graph.VertexID) *sourceBuilder {
+	return &sourceBuilder{
+		ix:    ix,
+		order: order,
+		ctx:   dijkstra.NewContext(ix.g),
+		hop:   make([]uint8, ix.g.NumVertices()),
+	}
+}
+
+// build computes the first-hop coloring for source v and compresses it.
+func (b *sourceBuilder) build(v graph.VertexID) error {
+	g := b.ix.g
+	b.ctx.Run([]graph.VertexID{v}, dijkstra.Options{})
+	for i := range b.hop {
+		b.hop[i] = noHop
+	}
+	// First hops propagate down the shortest-path tree in settle order.
+	lo, _ := g.ArcsOf(v)
+	for _, u := range b.ctx.Settled() {
+		if u == v {
+			continue
+		}
+		p := b.ctx.Parent(u)
+		if p == v {
+			// Find the adjacency slot of the tree edge's head u with the
+			// smallest weight realizing the tree distance.
+			slot := -1
+			g.Neighbors(v, func(w graph.VertexID, wt graph.Weight, _ int32) bool {
+				if w == u && b.ctx.Dist(u) == int64(wt) {
+					slot = int(indexOfArc(g, v, u, wt) - lo)
+					return false
+				}
+				return true
+			})
+			if slot < 0 {
+				// The tree edge exists by construction; fall back to any
+				// arc to u.
+				slot = int(indexOfArc(g, v, u, -1) - lo)
+			}
+			b.hop[u] = uint8(slot)
+		} else {
+			b.hop[u] = b.hop[p]
+		}
+	}
+
+	b.starts = b.starts[:0]
+	b.colors = b.colors[:0]
+	b.minDists = b.minDists[:0]
+	exceptions := map[graph.VertexID]uint8{}
+	b.rec(v, 0, uint64(b.ix.norm.CodeSpaceSize()), 0, len(b.order), exceptions)
+
+	b.ix.starts[v] = append([]uint32(nil), b.starts...)
+	b.ix.colors[v] = append([]uint8(nil), b.colors...)
+	if b.ix.minDist != nil {
+		b.ix.minDist[v] = append([]int32(nil), b.minDists...)
+	}
+	if len(exceptions) > 0 {
+		b.ix.exceptions[v] = exceptions
+	}
+	return nil
+}
+
+// indexOfArc returns the arc index of an arc v->u (with weight wt when wt
+// is non-negative).
+func indexOfArc(g *graph.Graph, v, u graph.VertexID, wt graph.Weight) int32 {
+	lo, hi := g.ArcsOf(v)
+	for a := lo; a < hi; a++ {
+		if g.Head(a) == u && (wt < 0 || g.ArcWeight(a) == wt) {
+			return a
+		}
+	}
+	return lo
+}
+
+// emit appends a region start, merging adjacent same-color regions. minD
+// is the minimum source distance over the region's vertices, maintained
+// only when NearestK support is enabled.
+func (b *sourceBuilder) emit(code uint64, color uint8, minD int32) {
+	if len(b.colors) > 0 && b.colors[len(b.colors)-1] == color {
+		if b.ix.minDist != nil && minD < b.minDists[len(b.minDists)-1] {
+			b.minDists[len(b.minDists)-1] = minD
+		}
+		return
+	}
+	b.starts = append(b.starts, uint32(code))
+	b.colors = append(b.colors, color)
+	if b.ix.minDist != nil {
+		b.minDists = append(b.minDists, minD)
+	}
+}
+
+// regionMinDist computes the minimum source distance over
+// order[idxLo:idxHi], or invalidMinDist when nothing is reachable.
+func (b *sourceBuilder) regionMinDist(idxLo, idxHi int) int32 {
+	if b.ix.minDist == nil {
+		return invalidMinDist
+	}
+	minD := invalidMinDist
+	for i := idxLo; i < idxHi; i++ {
+		if d := b.ctx.Dist(b.order[i]); d < graph.Infinity && int32(d) < minD {
+			minD = int32(d)
+		}
+	}
+	return minD
+}
+
+// rec performs the quadtree subdivision of the Morton code range
+// [codeLo, codeLo+codeSpan) containing the sorted vertices
+// order[idxLo:idxHi], emitting maximal single-color intervals. The source
+// vertex src acts as a wildcard that matches any color.
+func (b *sourceBuilder) rec(src graph.VertexID, codeLo, codeSpan uint64, idxLo, idxHi int, exceptions map[graph.VertexID]uint8) {
+	if idxLo >= idxHi {
+		return
+	}
+	// Single-color check (ignoring the source).
+	color := uint8(noHop)
+	uniform := true
+	hasColor := false
+	for i := idxLo; i < idxHi; i++ {
+		u := b.order[i]
+		if u == src {
+			continue
+		}
+		c := b.hop[u]
+		if !hasColor {
+			color = c
+			hasColor = true
+		} else if c != color {
+			uniform = false
+			break
+		}
+	}
+	if !hasColor {
+		return // only the source lives here
+	}
+	if uniform {
+		b.emit(codeLo, color, b.regionMinDist(idxLo, idxHi))
+		return
+	}
+	if codeSpan <= 1 {
+		// Coordinate collision: distinct vertices share one cell with
+		// different colors. Emit the first color and record the others as
+		// exceptions.
+		b.emit(codeLo, color, b.regionMinDist(idxLo, idxHi))
+		for i := idxLo; i < idxHi; i++ {
+			u := b.order[i]
+			if u != src && b.hop[u] != color {
+				exceptions[u] = b.hop[u]
+			}
+		}
+		return
+	}
+	quarter := codeSpan / 4
+	at := idxLo
+	for q := uint64(0); q < 4; q++ {
+		qLo := codeLo + q*quarter
+		qHi := qLo + quarter
+		end := at + sort.Search(idxHi-at, func(k int) bool {
+			return uint64(b.ix.code[b.order[at+k]]) >= qHi
+		})
+		b.rec(src, qLo, quarter, at, end, exceptions)
+		at = end
+	}
+}
+
+// lookup returns the first-hop adjacency slot from cur toward target.
+func (ix *Index) lookup(cur, target graph.VertexID) uint8 {
+	if exc := ix.exceptions[cur]; exc != nil {
+		if c, ok := exc[target]; ok {
+			return c
+		}
+	}
+	starts := ix.starts[cur]
+	if len(starts) == 0 {
+		return noHop
+	}
+	code := ix.code[target]
+	// Find the last region starting at or before code.
+	i := sort.Search(len(starts), func(k int) bool { return starts[k] > code })
+	if i == 0 {
+		return noHop
+	}
+	return ix.colors[cur][i-1]
+}
+
+// ShortestPath walks the path from s to t hop by hop (§3.4), returning the
+// vertex sequence and its length, or (nil, Infinity) when unreachable.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	if s == t {
+		return []graph.VertexID{s}, 0
+	}
+	path := []graph.VertexID{s}
+	var total int64
+	cur := s
+	for cur != t {
+		slot := ix.lookup(cur, t)
+		if slot == noHop {
+			return nil, graph.Infinity
+		}
+		lo, hi := ix.g.ArcsOf(cur)
+		a := lo + int32(slot)
+		if a >= hi {
+			return nil, graph.Infinity
+		}
+		cur = ix.g.Head(a)
+		total += int64(ix.g.ArcWeight(a))
+		path = append(path, cur)
+		if len(path) > ix.g.NumVertices() {
+			// Defensive: a corrupted table would loop forever.
+			return nil, graph.Infinity
+		}
+	}
+	return path, total
+}
+
+// Distance computes the path and returns its length (§3.4: SILC answers a
+// distance query by first computing the shortest path).
+func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	if s == t {
+		return 0
+	}
+	var total int64
+	cur := s
+	steps := 0
+	for cur != t {
+		slot := ix.lookup(cur, t)
+		if slot == noHop {
+			return graph.Infinity
+		}
+		lo, hi := ix.g.ArcsOf(cur)
+		a := lo + int32(slot)
+		if a >= hi {
+			return graph.Infinity
+		}
+		cur = ix.g.Head(a)
+		total += int64(ix.g.ArcWeight(a))
+		if steps++; steps > ix.g.NumVertices() {
+			return graph.Infinity
+		}
+	}
+	return total
+}
+
+// NumIntervals returns the total number of stored Morton intervals; the
+// paper's O(n sqrt n) space bound is in these units.
+func (ix *Index) NumIntervals() int64 { return ix.intervals }
+
+// BuildTime returns the wall-clock preprocessing duration.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// SizeBytes reports the index footprint: 5 bytes per interval (4-byte
+// start + 1-byte color) plus the per-source slice headers and exceptions.
+func (ix *Index) SizeBytes() int64 {
+	var size int64
+	for v := range ix.starts {
+		size += int64(len(ix.starts[v]))*5 + 48
+		if exc := ix.exceptions[v]; exc != nil {
+			size += int64(len(exc)) * 16
+		}
+		if ix.minDist != nil {
+			size += int64(len(ix.minDist[v])) * 4
+		}
+	}
+	size += int64(len(ix.code)) * 4
+	size += int64(len(ix.order)) * 4
+	return size
+}
+
+// MeanIntervalsPerVertex reports the average partition size, the quantity
+// the paper bounds by O(sqrt n).
+func (ix *Index) MeanIntervalsPerVertex() float64 {
+	if len(ix.starts) == 0 {
+		return 0
+	}
+	return float64(ix.intervals) / float64(len(ix.starts))
+}

@@ -1,0 +1,149 @@
+// Package testutil provides shared fixtures for the test suites of the
+// query-technique packages: the paper's Figure 1 example network, small
+// deterministic road networks, and helpers that check a technique's answers
+// against Dijkstra ground truth.
+package testutil
+
+import (
+	"testing"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/gen"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// Figure-1 vertex ids, zero-based: V1 = paper's v1, etc.
+const (
+	V1 graph.VertexID = iota
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+	V8
+)
+
+// Figure1 builds the paper's running example (Figure 1): eight vertices,
+// nine edges; (v2,v8) and (v6,v8) have weight 2, all other edges weight 1.
+// The edge set is reconstructed from the paper's worked examples:
+//   - contracting v1 yields shortcut c1 = (v3, v8) with weight 2 (§3.2),
+//   - contracting v5 yields c2 = (v7, v6) weight 2, then v6 yields
+//     c3 = (v7, v8) weight 4,
+//   - dist(v3, v7) = 6 and the SILC partition of V \ {v8} groups
+//     {v4, v5, v6, v7} behind v6 and {v1, v3} behind v1 (§3.4).
+func Figure1() *graph.Graph {
+	coords := []geom.Point{
+		{X: 1, Y: 2}, // v1
+		{X: 1, Y: 0}, // v2
+		{X: 0, Y: 1}, // v3
+		{X: 5, Y: 0}, // v4
+		{X: 5, Y: 2}, // v5
+		{X: 4, Y: 1}, // v6
+		{X: 6, Y: 2}, // v7
+		{X: 2, Y: 1}, // v8
+	}
+	edges := []graph.Edge{
+		{U: V1, V: V3, Weight: 1},
+		{U: V1, V: V8, Weight: 1},
+		{U: V2, V: V3, Weight: 1},
+		{U: V2, V: V8, Weight: 2},
+		{U: V4, V: V5, Weight: 1},
+		{U: V4, V: V6, Weight: 1},
+		{U: V5, V: V6, Weight: 1},
+		{U: V5, V: V7, Weight: 1},
+		{U: V6, V: V8, Weight: 2},
+	}
+	g, err := graph.FromEdges(coords, edges)
+	if err != nil {
+		panic("testutil: Figure1 construction failed: " + err.Error())
+	}
+	return g
+}
+
+// SmallRoad returns a deterministic synthetic road network of roughly n
+// vertices, suitable for exhaustive ground-truth comparison.
+func SmallRoad(n int, seed int64) *graph.Graph {
+	return gen.Generate(gen.Params{N: n, Seed: seed})
+}
+
+// DistanceFunc answers a distance query; PathFunc a shortest-path query.
+type DistanceFunc func(s, t graph.VertexID) int64
+
+// PathFunc returns a vertex path and its length.
+type PathFunc func(s, t graph.VertexID) ([]graph.VertexID, int64)
+
+// CheckDistancesAgainstDijkstra compares dist(s, t) from the technique under
+// test with ground truth for the given pairs.
+func CheckDistancesAgainstDijkstra(t *testing.T, g *graph.Graph, pairs [][2]graph.VertexID, f DistanceFunc) {
+	t.Helper()
+	ctx := dijkstra.NewContext(g)
+	for _, p := range pairs {
+		s, tt := p[0], p[1]
+		want := ctx.Distance(s, tt)
+		got := f(s, tt)
+		if got != want {
+			t.Errorf("dist(%d, %d) = %d, want %d", s, tt, got, want)
+		}
+	}
+}
+
+// CheckPathsAgainstDijkstra verifies that the technique's path answers are
+// valid paths in g whose total weight equals the Dijkstra distance.
+func CheckPathsAgainstDijkstra(t *testing.T, g *graph.Graph, pairs [][2]graph.VertexID, f PathFunc) {
+	t.Helper()
+	ctx := dijkstra.NewContext(g)
+	for _, p := range pairs {
+		s, tt := p[0], p[1]
+		want := ctx.Distance(s, tt)
+		path, dist := f(s, tt)
+		if want >= graph.Infinity {
+			if dist < graph.Infinity {
+				t.Errorf("path(%d, %d): reported distance %d for unreachable pair", s, tt, dist)
+			}
+			continue
+		}
+		if dist != want {
+			t.Errorf("path(%d, %d): reported distance %d, want %d", s, tt, dist, want)
+			continue
+		}
+		if len(path) == 0 || path[0] != s || path[len(path)-1] != tt {
+			t.Errorf("path(%d, %d): endpoints wrong in %v", s, tt, path)
+			continue
+		}
+		if w := dijkstra.PathWeight(g, path); w != want {
+			t.Errorf("path(%d, %d): edges sum to %d, want %d (path %v)", s, tt, w, want, path)
+		}
+	}
+}
+
+// AllPairs enumerates every ordered vertex pair of g, for exhaustive checks
+// on small graphs.
+func AllPairs(g *graph.Graph) [][2]graph.VertexID {
+	n := g.NumVertices()
+	pairs := make([][2]graph.VertexID, 0, n*n)
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			pairs = append(pairs, [2]graph.VertexID{graph.VertexID(s), graph.VertexID(t)})
+		}
+	}
+	return pairs
+}
+
+// SamplePairs returns a deterministic pseudo-random sample of vertex pairs.
+func SamplePairs(g *graph.Graph, count int, seed int64) [][2]graph.VertexID {
+	n := int64(g.NumVertices())
+	pairs := make([][2]graph.VertexID, 0, count)
+	x := uint64(seed)*2654435761 + 1
+	next := func() int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % uint64(n))
+	}
+	for i := 0; i < count; i++ {
+		pairs = append(pairs, [2]graph.VertexID{graph.VertexID(next()), graph.VertexID(next())})
+	}
+	return pairs
+}

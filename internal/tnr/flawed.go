@@ -1,0 +1,115 @@
+package tnr
+
+import (
+	"sort"
+
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+)
+
+// This file reproduces the defective access-node computation of Bast et al.
+// that the paper analyses in Appendix B.
+//
+// The method samples the outer shell: it collects the vertices Sup lying on
+// the ring of cells at Chebyshev distance exactly 4 from the cell C (the
+// drawn boundary of the 9x9 block), computes one Dijkstra per inner-shell
+// vertex vj in Sin, and marks as access nodes only those vj that minimize
+// dist(vi, vj) + dist(vj, vk) for some vi in C and vk in Sup.
+//
+// The flaw (the paper's Figure 12(b)): a vertex vj in Sin whose only
+// connection to the exterior is an edge that jumps straight over the
+// sampled ring is never on a shortest path from C to Sup, so it is omitted
+// even though it is a genuine access node. Queries whose shortest path runs
+// through the omitted vertex then return overestimated distances.
+
+// flawedAccessNodes implements Bast et al.'s method for one cell.
+func (w *accessWorker) flawedAccessNodes(cellIdx int32, verts []graph.VertexID) []graph.VertexID {
+	sin := w.innerShellVertices(cellIdx)
+	sup := w.outerRingVertices(cellIdx)
+	if len(sin) == 0 || len(sup) == 0 {
+		return nil
+	}
+
+	// One Dijkstra per vj in Sin yields dist(vj, vi) for vi in C and
+	// dist(vj, vk) for vk in Sup (the graph is undirected).
+	targets := make([]graph.VertexID, 0, len(verts)+len(sup))
+	targets = append(targets, verts...)
+	targets = append(targets, sup...)
+	toVerts := make([][]int64, len(sin))
+	toSup := make([][]int64, len(sin))
+	for j, vj := range sin {
+		w.ctx.Run([]graph.VertexID{vj}, dijkstra.Options{Targets: targets})
+		rowV := make([]int64, len(verts))
+		for i, vi := range verts {
+			rowV[i] = w.ctx.Dist(vi)
+		}
+		rowS := make([]int64, len(sup))
+		for k, vk := range sup {
+			rowS[k] = w.ctx.Dist(vk)
+		}
+		toVerts[j] = rowV
+		toSup[j] = rowS
+	}
+
+	marked := make(map[graph.VertexID]bool)
+	for i := range verts {
+		for k := range sup {
+			bestJ, bestD := -1, graph.Infinity
+			for j := range sin {
+				if d := toVerts[j][i] + toSup[j][k]; d < bestD {
+					bestD = d
+					bestJ = j
+				}
+			}
+			if bestJ >= 0 && bestD < graph.Infinity {
+				marked[sin[bestJ]] = true
+			}
+		}
+	}
+	nodes := make([]graph.VertexID, 0, len(marked))
+	for a := range marked {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// innerShellVertices returns the endpoints of edges crossing the inner
+// shell of the cell (exactly one endpoint inside the 5x5 block). The scan
+// over all vertices is acceptable because the flawed variant exists only
+// for the Appendix B demonstration on small inputs.
+func (w *accessWorker) innerShellVertices(cellIdx int32) []graph.VertexID {
+	seen := make(map[graph.VertexID]bool)
+	for u := 0; u < w.g.NumVertices(); u++ {
+		if w.chebToCell(graph.VertexID(u), cellIdx) > innerRadius {
+			continue
+		}
+		w.g.Neighbors(graph.VertexID(u), func(v graph.VertexID, _ graph.Weight, _ int32) bool {
+			if w.chebToCell(v, cellIdx) > innerRadius {
+				seen[graph.VertexID(u)] = true
+				seen[v] = true
+			}
+			return true
+		})
+	}
+	nodes := make([]graph.VertexID, 0, len(seen))
+	for a := range seen {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// outerRingVertices returns the vertices located in the ring of cells at
+// Chebyshev distance exactly outerRadius from the cell — Bast et al.'s
+// sampled outer boundary. Edges that jump over this ring are missed, which
+// is precisely the defect.
+func (w *accessWorker) outerRingVertices(cellIdx int32) []graph.VertexID {
+	var nodes []graph.VertexID
+	for v := 0; v < w.g.NumVertices(); v++ {
+		if w.chebToCell(graph.VertexID(v), cellIdx) == outerRadius {
+			nodes = append(nodes, graph.VertexID(v))
+		}
+	}
+	return nodes
+}

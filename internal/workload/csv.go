@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"roadnet/internal/graph"
+)
+
+// Query-set persistence. The paper's workloads are fixed sets of 10 000
+// vertex pairs per bucket; persisting them lets different implementations
+// (or different runs) be measured on byte-identical workloads. The format
+// is CSV with one row per pair: set name, lower bound, upper bound, source,
+// target.
+
+// WriteCSV writes the query sets.
+func WriteCSV(w io.Writer, sets []QuerySet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"set", "lo", "hi", "source", "target"}); err != nil {
+		return err
+	}
+	for _, qs := range sets {
+		lo := strconv.FormatInt(qs.Lo, 10)
+		hi := strconv.FormatInt(qs.Hi, 10)
+		for _, p := range qs.Pairs {
+			if err := cw.Write([]string{qs.Name, lo, hi,
+				strconv.FormatInt(int64(p.S), 10), strconv.FormatInt(int64(p.T), 10)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads query sets written by WriteCSV, validating vertex ids
+// against g. Sets appear in first-encounter order.
+func ReadCSV(r io.Reader, g *graph.Graph) ([]QuerySet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading header: %w", err)
+	}
+	if header[0] != "set" {
+		return nil, fmt.Errorf("workload: unexpected header %v", header)
+	}
+	n := int64(g.NumVertices())
+	var sets []QuerySet
+	index := map[string]int{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: %w", err)
+		}
+		lo, err1 := strconv.ParseInt(rec[1], 10, 64)
+		hi, err2 := strconv.ParseInt(rec[2], 10, 64)
+		s, err3 := strconv.ParseInt(rec[3], 10, 32)
+		t, err4 := strconv.ParseInt(rec[4], 10, 32)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("workload: non-integer field in %v", rec)
+		}
+		if s < 0 || s >= n || t < 0 || t >= n {
+			return nil, fmt.Errorf("workload: vertex id out of range in %v", rec)
+		}
+		i, ok := index[rec[0]]
+		if !ok {
+			i = len(sets)
+			index[rec[0]] = i
+			sets = append(sets, QuerySet{Name: rec[0], Lo: lo, Hi: hi})
+		}
+		sets[i].Pairs = append(sets[i].Pairs, Pair{S: graph.VertexID(s), T: graph.VertexID(t)})
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("workload: no query pairs in input")
+	}
+	return sets, nil
+}

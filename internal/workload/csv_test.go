@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"roadnet/internal/gen"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	g := gen.Generate(gen.Params{N: 900, Seed: 21})
+	sets, err := LInfSets(g, Config{PairsPerSet: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("roundtrip: %d sets, want %d", len(got), len(sets))
+	}
+	for i := range sets {
+		if got[i].Name != sets[i].Name || got[i].Lo != sets[i].Lo || got[i].Hi != sets[i].Hi {
+			t.Fatalf("set %d metadata differs: %+v vs %+v", i, got[i], sets[i])
+		}
+		if len(got[i].Pairs) != len(sets[i].Pairs) {
+			t.Fatalf("set %d has %d pairs, want %d", i, len(got[i].Pairs), len(sets[i].Pairs))
+		}
+		for j := range sets[i].Pairs {
+			if got[i].Pairs[j] != sets[i].Pairs[j] {
+				t.Fatalf("set %d pair %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRejectsBadInput(t *testing.T) {
+	g := gen.Generate(gen.Params{N: 100, Seed: 22})
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"header only", "set,lo,hi,source,target\n"},
+		{"bad header", "a,b,c,d,e\nQ1,0,5,1,2\n"},
+		{"non-integer", "set,lo,hi,source,target\nQ1,0,5,x,2\n"},
+		{"vertex out of range", "set,lo,hi,source,target\nQ1,0,5,1,50000\n"},
+		{"short row", "set,lo,hi,source,target\nQ1,0,5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), g); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

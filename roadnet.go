@@ -1,0 +1,224 @@
+// Package roadnet is a Go library for shortest path and distance queries on
+// road networks, reproducing the experimental evaluation of Wu et al.,
+// "Shortest Path and Distance Queries on Road Networks: An Experimental
+// Evaluation" (PVLDB 5(5), 2012).
+//
+// It implements the five techniques the paper compares behind one
+// interface:
+//
+//   - Bidirectional Dijkstra (the baseline, §3.1)
+//   - Contraction Hierarchies, CH (§3.2)
+//   - Transit Node Routing, TNR, with the paper's corrected access-node
+//     computation (§3.3, Appendix B)
+//   - Spatially Induced Linkage Cognizance, SILC (§3.4)
+//   - Path-Coherent Pairs Decomposition, PCPD (§3.5)
+//
+// plus ALT (Appendix A) as an extension, together with a synthetic
+// road-network generator, DIMACS file IO, the paper's two query-workload
+// generators, and a benchmark harness that regenerates every table and
+// figure of the evaluation (see cmd/spexp and bench_test.go).
+//
+// # Quick start
+//
+//	g := roadnet.Generate(roadnet.GenParams{N: 10000, Seed: 1})
+//	idx, err := roadnet.NewIndex(roadnet.CH, g, roadnet.Config{})
+//	if err != nil { ... }
+//	dist := idx.Distance(42, 4711)
+//	path, dist := idx.ShortestPath(42, 4711)
+package roadnet
+
+import (
+	"fmt"
+	"io"
+
+	"roadnet/internal/alt"
+	"roadnet/internal/arcflags"
+	"roadnet/internal/ch"
+	"roadnet/internal/core"
+	"roadnet/internal/gen"
+	"roadnet/internal/graph"
+	"roadnet/internal/pcpd"
+	"roadnet/internal/silc"
+	"roadnet/internal/tnr"
+	"roadnet/internal/workload"
+)
+
+// Graph is an undirected weighted road network with planar coordinates.
+type Graph = graph.Graph
+
+// VertexID identifies a vertex; ids are dense in [0, NumVertices).
+type VertexID = graph.VertexID
+
+// Weight is an edge weight (travel time).
+type Weight = graph.Weight
+
+// Edge is one undirected road segment.
+type Edge = graph.Edge
+
+// Infinity is the distance reported for unreachable pairs.
+const Infinity = graph.Infinity
+
+// Method selects a query technique.
+type Method = core.Method
+
+// The available techniques.
+const (
+	Dijkstra = core.MethodDijkstra
+	CH       = core.MethodCH
+	TNR      = core.MethodTNR
+	SILC     = core.MethodSILC
+	PCPD     = core.MethodPCPD
+	ALT      = core.MethodALT
+	ArcFlags = core.MethodArcFlags
+)
+
+// Methods lists the paper's five techniques in presentation order.
+func Methods() []Method { return core.AllMethods() }
+
+// Index is the unified query interface: exact distance and shortest-path
+// queries plus preprocessing statistics.
+type Index = core.Index
+
+// Stats reports an index's preprocessing time and memory footprint.
+type Stats = core.Stats
+
+// Config tunes index construction; the zero value is a sensible default
+// for every method.
+type Config = core.Config
+
+// Options of the individual techniques, re-exported for Config.
+type (
+	// CHOptions tunes contraction hierarchy preprocessing.
+	CHOptions = ch.Options
+	// TNROptions tunes the TNR grid, fallback and access-node algorithm.
+	TNROptions = tnr.Options
+	// SILCOptions tunes the SILC quadtree.
+	SILCOptions = silc.Options
+	// PCPDOptions tunes the PCPD decomposition.
+	PCPDOptions = pcpd.Options
+	// ALTOptions tunes landmark selection.
+	ALTOptions = alt.Options
+	// ArcFlagsOptions tunes the arc-flags grid.
+	ArcFlagsOptions = arcflags.Options
+)
+
+// NewIndex builds the index of the chosen method over g.
+func NewIndex(method Method, g *Graph, cfg Config) (Index, error) {
+	return core.BuildIndex(method, g, cfg)
+}
+
+// SaveIndex serializes a built index so deployments can preprocess once
+// and load at startup. CH, TNR and SILC are supported (the methods whose
+// preprocessing is expensive).
+func SaveIndex(idx Index, w io.Writer) error { return core.SaveIndex(idx, w) }
+
+// LoadIndex deserializes an index of the given method, re-attaching it to
+// g — the same network it was built on.
+func LoadIndex(method Method, r io.Reader, g *Graph) (Index, error) {
+	return core.LoadIndex(method, r, g)
+}
+
+// GenParams configures the synthetic road-network generator.
+type GenParams = gen.Params
+
+// Generate builds a seeded synthetic road network with road-like structure
+// (see internal/gen for the properties it guarantees).
+func Generate(p GenParams) *Graph { return gen.Generate(p) }
+
+// DatasetPreset names a scaled analogue of one of the paper's Table 1
+// datasets (DE ... US).
+type DatasetPreset = gen.Preset
+
+// Presets returns the ten scaled Table 1 dataset presets.
+func Presets() []DatasetPreset { return gen.Presets }
+
+// GeneratePreset generates the named preset dataset.
+func GeneratePreset(name string) (*Graph, error) { return gen.GeneratePreset(name) }
+
+// LoadDIMACS reads a road network from DIMACS Implementation Challenge
+// .gr (graph) and .co (coordinates) streams — the format of the paper's
+// real datasets.
+func LoadDIMACS(gr, co io.Reader) (*Graph, error) { return graph.ReadDIMACS(gr, co) }
+
+// WriteDIMACS writes g in DIMACS .gr/.co format.
+func WriteDIMACS(gr, co io.Writer, g *Graph) error {
+	if err := graph.WriteGR(gr, g); err != nil {
+		return err
+	}
+	return graph.WriteCO(co, g)
+}
+
+// DistanceMatrix computes all source-target distances. With a CH index it
+// runs the bucket many-to-many algorithm (one search per endpoint instead
+// of |sources| x |targets| point-to-point queries — the same accelerator
+// the paper uses inside TNR preprocessing); other indexes fall back to
+// repeated distance queries. Unreachable pairs hold Infinity.
+func DistanceMatrix(idx Index, sources, targets []VertexID) [][]int64 {
+	if h := core.HierarchyOf(idx); h != nil {
+		return h.ManyToMany(sources, targets)
+	}
+	table := make([][]int64, len(sources))
+	for i, s := range sources {
+		row := make([]int64, len(targets))
+		for j, t := range targets {
+			row[j] = idx.Distance(s, t)
+		}
+		table[i] = row
+	}
+	return table
+}
+
+// Neighbor is one result of a NearestK query.
+type Neighbor struct {
+	V    VertexID
+	Dist int64
+}
+
+// NearestK answers a k-nearest-neighbor query by network distance: the k
+// vertices closest to s, ascending. It requires a SILC index built with
+// SILCOptions{EnableNearest: true} (the paper's Appendix A notes SILC's
+// suitability for nearest-neighbor queries).
+func NearestK(idx Index, s VertexID, k int) ([]Neighbor, error) {
+	sx := core.SILCOf(idx)
+	if sx == nil {
+		return nil, fmt.Errorf("roadnet: NearestK requires a SILC index")
+	}
+	res, err := sx.NearestK(s, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, nb := range res {
+		out[i] = Neighbor{V: nb.V, Dist: nb.Dist}
+	}
+	return out, nil
+}
+
+// QueryPair is one (source, target) query.
+type QueryPair = workload.Pair
+
+// QuerySet is a bucket of query pairs with a distance range, e.g. Q3.
+type QuerySet = workload.QuerySet
+
+// WorkloadConfig tunes query-set generation.
+type WorkloadConfig = workload.Config
+
+// LInfQuerySets generates the paper's Q1..Q10 analogues: query pairs
+// bucketed by L-infinity distance (§4.2).
+func LInfQuerySets(g *Graph, cfg WorkloadConfig) ([]QuerySet, error) {
+	return workload.LInfSets(g, cfg)
+}
+
+// NetworkDistanceQuerySets generates the R1..R10 analogues: query pairs
+// bucketed by shortest-path distance (Appendix E.2).
+func NetworkDistanceQuerySets(g *Graph, cfg WorkloadConfig) ([]QuerySet, error) {
+	return workload.NetworkDistanceSets(g, cfg)
+}
+
+// SaveQuerySets persists query sets as CSV, so different runs or different
+// implementations can be measured on byte-identical workloads.
+func SaveQuerySets(w io.Writer, sets []QuerySet) error { return workload.WriteCSV(w, sets) }
+
+// LoadQuerySets reads query sets written by SaveQuerySets, validating the
+// vertex ids against g.
+func LoadQuerySets(r io.Reader, g *Graph) ([]QuerySet, error) { return workload.ReadCSV(r, g) }
