@@ -9,12 +9,18 @@
 // With -index, the index is loaded from the file when it exists and
 // otherwise built and saved to it (preprocess once, serve forever).
 //
+// Queries are served concurrently: the index data is shared read-only
+// across all request goroutines and each request draws a per-goroutine
+// query context from a searcher pool, so throughput scales with cores
+// (GOMAXPROCS).
+//
 // API:
 //
-//	GET /v1/distance?from=ID&to=ID
-//	GET /v1/route?from=ID&to=ID
-//	GET /v1/nearest?x=X&y=Y
-//	GET /v1/stats
+//	GET  /v1/distance?from=ID&to=ID
+//	GET  /v1/route?from=ID&to=ID
+//	GET  /v1/nearest?x=X&y=Y
+//	GET  /v1/stats
+//	POST /v1/batch/distance            {"sources":[...],"targets":[...]}
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"roadnet"
@@ -56,7 +63,7 @@ func main() {
 	fmt.Printf("index: %s, %d KB, built in %v\n", st.Method, st.IndexBytes/1024, st.BuildTime.Round(time.Millisecond))
 
 	srv := server.New(g, idx)
-	fmt.Printf("listening on %s\n", *addr)
+	fmt.Printf("listening on %s, serving concurrently on up to %d cores\n", *addr, runtime.GOMAXPROCS(0))
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

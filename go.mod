@@ -1,0 +1,3 @@
+module roadnet
+
+go 1.24

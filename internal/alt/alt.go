@@ -27,7 +27,12 @@ type Options struct {
 	Seed int64
 }
 
-// Index is a built ALT index.
+// Index is a built ALT index. The landmark tables are immutable after
+// Build, so one Index may be shared by any number of goroutines; per-query
+// mutable state lives in a Searcher (create one per goroutine with
+// NewSearcher). The Index's own Distance/ShortestPath methods delegate to
+// one internal default Searcher and are therefore not safe for concurrent
+// use.
 type Index struct {
 	g         *graph.Graph
 	landmarks []graph.VertexID
@@ -37,13 +42,34 @@ type Index struct {
 
 	buildTime time.Duration
 
-	// query state (one concurrent query at a time)
+	// def is the default searcher backing the Index's own query methods.
+	def *Searcher
+}
+
+// Searcher is a reusable A* query context over an Index. It is not safe
+// for concurrent use; create one per goroutine.
+type Searcher struct {
+	ix *Index
+
 	dist        []int64
 	parent      []int32
 	gen         []uint32
 	cur         uint32
 	heap        *pq.Heap
 	settledLast int
+}
+
+// NewSearcher returns a fresh query context sharing ix's immutable
+// landmark tables.
+func (ix *Index) NewSearcher() *Searcher {
+	n := ix.g.NumVertices()
+	return &Searcher{
+		ix:     ix,
+		dist:   make([]int64, n),
+		parent: make([]int32, n),
+		gen:    make([]uint32, n),
+		heap:   pq.New(n),
+	}
 }
 
 // Build selects landmarks by farthest-point traversal and precomputes the
@@ -57,13 +83,7 @@ func Build(g *graph.Graph, opts Options) *Index {
 	if opts.NumLandmarks > n {
 		opts.NumLandmarks = n
 	}
-	ix := &Index{
-		g:      g,
-		dist:   make([]int64, n),
-		parent: make([]int32, n),
-		gen:    make([]uint32, n),
-		heap:   pq.New(n),
-	}
+	ix := &Index{g: g}
 	ctx := dijkstra.NewContext(g)
 	// Farthest-point selection: start anywhere, repeatedly add the vertex
 	// maximizing the minimum distance to the chosen landmarks.
@@ -104,6 +124,17 @@ func Build(g *graph.Graph, opts Options) *Index {
 	return ix
 }
 
+// defSearcher lazily creates the default searcher, so indexes queried only
+// through NewSearcher/pools never pay for its O(n) arrays. Lazy without a
+// lock is fine: the Index's own query methods are single-goroutine by
+// contract.
+func (ix *Index) defSearcher() *Searcher {
+	if ix.def == nil {
+		ix.def = ix.NewSearcher()
+	}
+	return ix.def
+}
+
 // potential returns the ALT lower bound on dist(v, t).
 func (ix *Index) potential(v, t graph.VertexID) int64 {
 	var best int64
@@ -121,45 +152,46 @@ func (ix *Index) potential(v, t graph.VertexID) int64 {
 	return best
 }
 
-func (ix *Index) reset() {
-	ix.cur++
-	if ix.cur == 0 {
-		for i := range ix.gen {
-			ix.gen[i] = 0
+func (s *Searcher) reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.gen {
+			s.gen[i] = 0
 		}
-		ix.cur = 1
+		s.cur = 1
 	}
-	ix.heap.Clear()
+	s.heap.Clear()
 }
 
-// run executes A* from s to t and returns whether t was settled.
-func (ix *Index) run(s, t graph.VertexID) bool {
-	ix.reset()
-	ix.settledLast = 0
-	ix.gen[s] = ix.cur
-	ix.dist[s] = 0
-	ix.parent[s] = -1
-	ix.heap.Push(s, ix.potential(s, t))
-	for !ix.heap.Empty() {
-		v, _ := ix.heap.Pop()
-		ix.settledLast++
+// run executes A* from src to t and returns whether t was settled.
+func (s *Searcher) run(src, t graph.VertexID) bool {
+	ix := s.ix
+	s.reset()
+	s.settledLast = 0
+	s.gen[src] = s.cur
+	s.dist[src] = 0
+	s.parent[src] = -1
+	s.heap.Push(src, ix.potential(src, t))
+	for !s.heap.Empty() {
+		v, _ := s.heap.Pop()
+		s.settledLast++
 		if v == t {
 			return true
 		}
-		d := ix.dist[v]
+		d := s.dist[v]
 		lo, hi := ix.g.ArcsOf(v)
 		for a := lo; a < hi; a++ {
 			w := ix.g.Head(a)
 			nd := d + int64(ix.g.ArcWeight(a))
-			if ix.gen[w] != ix.cur {
-				ix.gen[w] = ix.cur
-				ix.dist[w] = nd
-				ix.parent[w] = int32(v)
-				ix.heap.Push(w, nd+ix.potential(w, t))
-			} else if nd < ix.dist[w] && ix.heap.Contains(w) {
-				ix.dist[w] = nd
-				ix.parent[w] = int32(v)
-				ix.heap.Push(w, nd+ix.potential(w, t))
+			if s.gen[w] != s.cur {
+				s.gen[w] = s.cur
+				s.dist[w] = nd
+				s.parent[w] = int32(v)
+				s.heap.Push(w, nd+ix.potential(w, t))
+			} else if nd < s.dist[w] && s.heap.Contains(w) {
+				s.dist[w] = nd
+				s.parent[w] = int32(v)
+				s.heap.Push(w, nd+ix.potential(w, t))
 			}
 		}
 	}
@@ -167,36 +199,48 @@ func (ix *Index) run(s, t graph.VertexID) bool {
 }
 
 // Distance answers a distance query.
-func (ix *Index) Distance(s, t graph.VertexID) int64 {
-	if s == t {
+func (s *Searcher) Distance(src, t graph.VertexID) int64 {
+	if src == t {
 		return 0
 	}
-	if !ix.run(s, t) {
+	if !s.run(src, t) {
 		return graph.Infinity
 	}
-	return ix.dist[t]
+	return s.dist[t]
 }
 
 // ShortestPath answers a shortest-path query.
-func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
-	if s == t {
-		return []graph.VertexID{s}, 0
+func (s *Searcher) ShortestPath(src, t graph.VertexID) ([]graph.VertexID, int64) {
+	if src == t {
+		return []graph.VertexID{src}, 0
 	}
-	if !ix.run(s, t) {
+	if !s.run(src, t) {
 		return nil, graph.Infinity
 	}
 	var rev []graph.VertexID
-	for v := t; v >= 0; v = graph.VertexID(ix.parent[v]) {
+	for v := t; v >= 0; v = graph.VertexID(s.parent[v]) {
 		rev = append(rev, v)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, ix.dist[t]
+	return rev, s.dist[t]
 }
 
 // SettledLast reports the vertices settled by the last query.
-func (ix *Index) SettledLast() int { return ix.settledLast }
+func (s *Searcher) SettledLast() int { return s.settledLast }
+
+// Distance answers a distance query on the default searcher.
+func (ix *Index) Distance(s, t graph.VertexID) int64 { return ix.defSearcher().Distance(s, t) }
+
+// ShortestPath answers a shortest-path query on the default searcher.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.defSearcher().ShortestPath(s, t)
+}
+
+// SettledLast reports the vertices settled by the default searcher's last
+// query.
+func (ix *Index) SettledLast() int { return ix.defSearcher().SettledLast() }
 
 // NumLandmarks returns the number of selected landmarks.
 func (ix *Index) NumLandmarks() int { return len(ix.landmarks) }

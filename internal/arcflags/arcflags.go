@@ -34,7 +34,12 @@ type Options struct {
 	Workers int
 }
 
-// Index is a built arc-flags index.
+// Index is a built arc-flags index. The flag tables are immutable after
+// Build, so one Index may be shared by any number of goroutines; per-query
+// mutable state lives in a Searcher (create one per goroutine with
+// NewSearcher). The Index's own Distance/ShortestPath methods delegate to
+// one internal default Searcher and are therefore not safe for concurrent
+// use.
 type Index struct {
 	g      *graph.Graph
 	grid   geom.Grid
@@ -45,13 +50,34 @@ type Index struct {
 
 	buildTime time.Duration
 
-	// query state
+	// def is the default searcher backing the Index's own query methods.
+	def *Searcher
+}
+
+// Searcher is a reusable flag-pruned Dijkstra context over an Index. It is
+// not safe for concurrent use; create one per goroutine.
+type Searcher struct {
+	ix *Index
+
 	dist        []int64
 	parent      []int32
 	gen         []uint32
 	cur         uint32
 	heap        *pq.Heap
 	settledLast int
+}
+
+// NewSearcher returns a fresh query context sharing ix's immutable flag
+// tables.
+func (ix *Index) NewSearcher() *Searcher {
+	n := ix.g.NumVertices()
+	return &Searcher{
+		ix:     ix,
+		dist:   make([]int64, n),
+		parent: make([]int32, n),
+		gen:    make([]uint32, n),
+		heap:   pq.New(n),
+	}
 }
 
 // Build computes arc flags for g.
@@ -69,10 +95,6 @@ func Build(g *graph.Graph, opts Options) *Index {
 		grid:   geom.NewGrid(g.Bounds(), opts.GridSize, opts.GridSize),
 		cellOf: make([]int32, n),
 		words:  (opts.GridSize*opts.GridSize + 63) / 64,
-		dist:   make([]int64, n),
-		parent: make([]int32, n),
-		gen:    make([]uint32, n),
-		heap:   pq.New(n),
 	}
 	ix.flags = make([]uint64, g.NumArcs()*ix.words)
 	for v := 0; v < n; v++ {
@@ -154,6 +176,17 @@ func Build(g *graph.Graph, opts Options) *Index {
 	return ix
 }
 
+// defSearcher lazily creates the default searcher, so indexes queried only
+// through NewSearcher/pools never pay for its O(n) arrays. Lazy without a
+// lock is fine: the Index's own query methods are single-goroutine by
+// contract.
+func (ix *Index) defSearcher() *Searcher {
+	if ix.def == nil {
+		ix.def = ix.NewSearcher()
+	}
+	return ix.def
+}
+
 func (ix *Index) setFlag(arc int32, cell int32) {
 	ix.flags[int(arc)*ix.words+int(cell)/64] |= 1 << (uint(cell) % 64)
 }
@@ -162,29 +195,30 @@ func (ix *Index) hasFlag(arc int32, cell int32) bool {
 	return ix.flags[int(arc)*ix.words+int(cell)/64]&(1<<(uint(cell)%64)) != 0
 }
 
-func (ix *Index) reset() {
-	ix.cur++
-	if ix.cur == 0 {
-		for i := range ix.gen {
-			ix.gen[i] = 0
+func (s *Searcher) reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.gen {
+			s.gen[i] = 0
 		}
-		ix.cur = 1
+		s.cur = 1
 	}
-	ix.heap.Clear()
+	s.heap.Clear()
 }
 
-// run executes the flag-pruned Dijkstra from s toward t.
-func (ix *Index) run(s, t graph.VertexID) bool {
-	ix.reset()
-	ix.settledLast = 0
+// run executes the flag-pruned Dijkstra from src toward t.
+func (s *Searcher) run(src, t graph.VertexID) bool {
+	ix := s.ix
+	s.reset()
+	s.settledLast = 0
 	target := ix.cellOf[t]
-	ix.gen[s] = ix.cur
-	ix.dist[s] = 0
-	ix.parent[s] = -1
-	ix.heap.Push(s, 0)
-	for !ix.heap.Empty() {
-		v, d := ix.heap.Pop()
-		ix.settledLast++
+	s.gen[src] = s.cur
+	s.dist[src] = 0
+	s.parent[src] = -1
+	s.heap.Push(src, 0)
+	for !s.heap.Empty() {
+		v, d := s.heap.Pop()
+		s.settledLast++
 		if v == t {
 			return true
 		}
@@ -195,15 +229,15 @@ func (ix *Index) run(s, t graph.VertexID) bool {
 			}
 			w := ix.g.Head(a)
 			nd := d + int64(ix.g.ArcWeight(a))
-			if ix.gen[w] != ix.cur {
-				ix.gen[w] = ix.cur
-				ix.dist[w] = nd
-				ix.parent[w] = int32(v)
-				ix.heap.Push(w, nd)
-			} else if nd < ix.dist[w] && ix.heap.Contains(w) {
-				ix.dist[w] = nd
-				ix.parent[w] = int32(v)
-				ix.heap.Push(w, nd)
+			if s.gen[w] != s.cur {
+				s.gen[w] = s.cur
+				s.dist[w] = nd
+				s.parent[w] = int32(v)
+				s.heap.Push(w, nd)
+			} else if nd < s.dist[w] && s.heap.Contains(w) {
+				s.dist[w] = nd
+				s.parent[w] = int32(v)
+				s.heap.Push(w, nd)
 			}
 		}
 	}
@@ -211,36 +245,48 @@ func (ix *Index) run(s, t graph.VertexID) bool {
 }
 
 // Distance answers a distance query.
-func (ix *Index) Distance(s, t graph.VertexID) int64 {
-	if s == t {
+func (s *Searcher) Distance(src, t graph.VertexID) int64 {
+	if src == t {
 		return 0
 	}
-	if !ix.run(s, t) {
+	if !s.run(src, t) {
 		return graph.Infinity
 	}
-	return ix.dist[t]
+	return s.dist[t]
 }
 
 // ShortestPath answers a shortest-path query.
-func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
-	if s == t {
-		return []graph.VertexID{s}, 0
+func (s *Searcher) ShortestPath(src, t graph.VertexID) ([]graph.VertexID, int64) {
+	if src == t {
+		return []graph.VertexID{src}, 0
 	}
-	if !ix.run(s, t) {
+	if !s.run(src, t) {
 		return nil, graph.Infinity
 	}
 	var rev []graph.VertexID
-	for v := t; v >= 0; v = graph.VertexID(ix.parent[v]) {
+	for v := t; v >= 0; v = graph.VertexID(s.parent[v]) {
 		rev = append(rev, v)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, ix.dist[t]
+	return rev, s.dist[t]
 }
 
 // SettledLast reports the vertices settled by the last query.
-func (ix *Index) SettledLast() int { return ix.settledLast }
+func (s *Searcher) SettledLast() int { return s.settledLast }
+
+// Distance answers a distance query on the default searcher.
+func (ix *Index) Distance(s, t graph.VertexID) int64 { return ix.defSearcher().Distance(s, t) }
+
+// ShortestPath answers a shortest-path query on the default searcher.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	return ix.defSearcher().ShortestPath(s, t)
+}
+
+// SettledLast reports the vertices settled by the default searcher's last
+// query.
+func (ix *Index) SettledLast() int { return ix.defSearcher().SettledLast() }
 
 // BuildTime returns the preprocessing duration.
 func (ix *Index) BuildTime() time.Duration { return ix.buildTime }

@@ -57,6 +57,13 @@ type Stats struct {
 }
 
 // Index is the unified query interface every technique implements.
+//
+// Concurrency contract: the index data of every technique is immutable
+// after BuildIndex/LoadIndex returns, so one Index may be shared by any
+// number of goroutines — but the Distance and ShortestPath methods of the
+// Index itself run on a single internal query context and are NOT safe for
+// concurrent use. For concurrent serving, call NewSearcher once per
+// goroutine (or use a Pool) and query through the Searchers.
 type Index interface {
 	// Method returns the technique's identifier.
 	Method() Method
@@ -66,8 +73,27 @@ type Index interface {
 	// ShortestPath answers a shortest path query (§2), returning the
 	// vertex sequence and the path length, or (nil, graph.Infinity).
 	ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64)
+	// NewSearcher returns a fresh query context sharing the index's
+	// immutable data. Searchers from distinct NewSearcher calls may be
+	// used concurrently; a single Searcher may not.
+	NewSearcher() Searcher
 	// Stats reports preprocessing time and space.
 	Stats() Stats
+}
+
+// Searcher is a per-goroutine query context over a shared Index: it owns
+// all mutable search state (distance labels, generation counters, heaps),
+// while the index data it reads is immutable. A Searcher is reusable
+// across any number of queries with zero steady-state allocations on the
+// distance hot path, but is not safe for concurrent use — create one per
+// goroutine, or hand them out through a Pool.
+type Searcher interface {
+	// Distance answers a distance query, returning graph.Infinity for
+	// unreachable pairs.
+	Distance(s, t graph.VertexID) int64
+	// ShortestPath answers a shortest path query, returning the vertex
+	// sequence and the path length, or (nil, graph.Infinity).
+	ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64)
 }
 
 // ErrIndexTooLarge is returned when an index exceeds the configured memory
@@ -101,7 +127,7 @@ func BuildIndex(method Method, g *graph.Graph, cfg Config) (Index, error) {
 	var ix Index
 	switch method {
 	case MethodDijkstra:
-		ix = &dijkstraIndex{bi: dijkstra.NewBidirectional(g)}
+		ix = &dijkstraIndex{g: g, bi: dijkstra.NewBidirectional(g)}
 	case MethodCH:
 		h := cfg.Hierarchy
 		if h == nil {
@@ -199,7 +225,10 @@ func micros(d time.Duration, n int) float64 {
 
 // --- adapters ---
 
-type dijkstraIndex struct{ bi *dijkstra.Bidirectional }
+type dijkstraIndex struct {
+	g  *graph.Graph
+	bi *dijkstra.Bidirectional
+}
 
 func (ix *dijkstraIndex) Method() Method { return MethodDijkstra }
 func (ix *dijkstraIndex) Distance(s, t graph.VertexID) int64 {
@@ -208,6 +237,7 @@ func (ix *dijkstraIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *dijkstraIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.bi.ShortestPath(s, t)
 }
+func (ix *dijkstraIndex) NewSearcher() Searcher { return dijkstra.NewBidirectional(ix.g) }
 func (ix *dijkstraIndex) Stats() Stats {
 	return Stats{Method: MethodDijkstra}
 }
@@ -224,6 +254,7 @@ func (ix *chIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *chIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.s.ShortestPath(s, t)
 }
+func (ix *chIndex) NewSearcher() Searcher { return ix.h.NewSearcher() }
 func (ix *chIndex) Stats() Stats {
 	return Stats{Method: MethodCH, BuildTime: ix.h.BuildTime(), IndexBytes: ix.h.SizeBytes()}
 }
@@ -249,6 +280,7 @@ func (ix *tnrIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *tnrIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.t.ShortestPath(s, t)
 }
+func (ix *tnrIndex) NewSearcher() Searcher { return ix.t.NewSearcher() }
 func (ix *tnrIndex) Stats() Stats {
 	return Stats{Method: MethodTNR, BuildTime: ix.t.BuildTime(), IndexBytes: ix.t.SizeBytes()}
 }
@@ -279,6 +311,10 @@ func (ix *silcIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *silcIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.s.ShortestPath(s, t)
 }
+
+// SILC queries only read the immutable interval tables, so the index is
+// its own concurrency-safe searcher.
+func (ix *silcIndex) NewSearcher() Searcher { return ix.s }
 func (ix *silcIndex) Stats() Stats {
 	return Stats{Method: MethodSILC, BuildTime: ix.s.BuildTime(), IndexBytes: ix.s.SizeBytes()}
 }
@@ -292,6 +328,10 @@ func (ix *pcpdIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *pcpdIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.p.ShortestPath(s, t)
 }
+
+// PCPD queries only read the immutable decomposition tree, so the index is
+// its own concurrency-safe searcher.
+func (ix *pcpdIndex) NewSearcher() Searcher { return ix.p }
 func (ix *pcpdIndex) Stats() Stats {
 	return Stats{Method: MethodPCPD, BuildTime: ix.p.BuildTime(), IndexBytes: ix.p.SizeBytes()}
 }
@@ -305,6 +345,7 @@ func (ix *altIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *altIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.a.ShortestPath(s, t)
 }
+func (ix *altIndex) NewSearcher() Searcher { return ix.a.NewSearcher() }
 func (ix *altIndex) Stats() Stats {
 	return Stats{Method: MethodALT, BuildTime: ix.a.BuildTime(), IndexBytes: ix.a.SizeBytes()}
 }
@@ -318,6 +359,7 @@ func (ix *arcFlagsIndex) Distance(s, t graph.VertexID) int64 {
 func (ix *arcFlagsIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	return ix.a.ShortestPath(s, t)
 }
+func (ix *arcFlagsIndex) NewSearcher() Searcher { return ix.a.NewSearcher() }
 func (ix *arcFlagsIndex) Stats() Stats {
 	return Stats{Method: MethodArcFlags, BuildTime: ix.a.BuildTime(), IndexBytes: ix.a.SizeBytes()}
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+
+	"roadnet/internal/graph"
+)
+
+// Pool hands out reusable Searchers over one shared Index so any number of
+// goroutines can query concurrently. It is backed by sync.Pool: searchers
+// are created on demand, recycled across queries, and dropped under memory
+// pressure, so steady-state operation allocates nothing on the distance
+// hot path.
+//
+// Either check out a searcher explicitly (Get/Put) to amortize the
+// checkout over several queries, or use the Distance/ShortestPath
+// convenience methods, which wrap one query each.
+type Pool struct {
+	idx  Index
+	pool sync.Pool
+}
+
+// NewPool returns a searcher pool over idx.
+func NewPool(idx Index) *Pool {
+	p := &Pool{idx: idx}
+	p.pool.New = func() any { return idx.NewSearcher() }
+	return p
+}
+
+// Index returns the shared index the pool serves.
+func (p *Pool) Index() Index { return p.idx }
+
+// Get checks a searcher out of the pool. Return it with Put when done; a
+// searcher that is never returned is simply garbage collected.
+func (p *Pool) Get() Searcher { return p.pool.Get().(Searcher) }
+
+// Put returns a searcher obtained from Get to the pool.
+func (p *Pool) Put(s Searcher) { p.pool.Put(s) }
+
+// Distance answers one distance query on a pooled searcher.
+func (p *Pool) Distance(s, t graph.VertexID) int64 {
+	sr := p.Get()
+	d := sr.Distance(s, t)
+	p.Put(sr)
+	return d
+}
+
+// ShortestPath answers one shortest-path query on a pooled searcher.
+func (p *Pool) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	sr := p.Get()
+	path, d := sr.ShortestPath(s, t)
+	p.Put(sr)
+	return path, d
+}

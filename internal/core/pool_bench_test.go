@@ -1,0 +1,50 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"roadnet/internal/graph"
+	"roadnet/internal/testutil"
+)
+
+// benchPool builds a CH index and pool over a mid-size network.
+func benchPool(b *testing.B) (*Pool, [][2]graph.VertexID) {
+	b.Helper()
+	g := testutil.SmallRoad(2000, 41)
+	idx, err := BuildIndex(MethodCH, g, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewPool(idx), testutil.SamplePairs(g, 256, 53)
+}
+
+// BenchmarkPoolDistanceCH is the steady-state hot path of the concurrent
+// server: one pooled CH distance query. Run with -benchmem; it must report
+// 0 allocs/op once the pool is warm.
+func BenchmarkPoolDistanceCH(b *testing.B) {
+	pool, pairs := benchPool(b)
+	pool.Put(pool.Get()) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		pool.Distance(p[0], p[1])
+	}
+}
+
+// BenchmarkPoolDistanceCHParallel is the same hot path under contention,
+// the shape the HTTP server produces. Also 0 allocs/op steady-state.
+func BenchmarkPoolDistanceCHParallel(b *testing.B) {
+	pool, pairs := benchPool(b)
+	pool.Put(pool.Get())
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := pairs[int(next.Add(1))%len(pairs)]
+			pool.Distance(p[0], p[1])
+		}
+	})
+}

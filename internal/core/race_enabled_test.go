@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool deliberately randomizes Get/Put under the race detector, so
+// tests asserting pool recycling must skip themselves.
+const raceEnabled = true

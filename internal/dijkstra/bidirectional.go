@@ -165,6 +165,11 @@ func (b *Bidirectional) Path(r Result) []graph.VertexID {
 	return fwd
 }
 
+// Distance is a convenience wrapper returning only the distance.
+func (b *Bidirectional) Distance(s, t graph.VertexID) int64 {
+	return b.Query(s, t).Dist
+}
+
 // ShortestPath is a convenience wrapper returning the path and distance.
 func (b *Bidirectional) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	r := b.Query(s, t)

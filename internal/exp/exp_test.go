@@ -17,8 +17,14 @@ func tinyConfig() Config {
 }
 
 func TestAllExperimentsRun(t *testing.T) {
-	for _, e := range All() {
-		e := e
+	exps := All()
+	if testing.Short() {
+		// Smoke subset: the full sweep regenerates every table and figure
+		// and dominates CI time; run without -short for the complete
+		// reproduction.
+		exps = exps[:3]
+	}
+	for _, e := range exps {
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := e.Run(tinyConfig(), &buf); err != nil {

@@ -255,6 +255,7 @@ func (t tnrTimer) Distance(s, u int32) int64 {
 func (t tnrTimer) ShortestPath(s, u int32) ([]int32, int64) {
 	return t.ix.ShortestPath(s, u)
 }
+func (t tnrTimer) NewSearcher() core.Searcher { return t.ix.NewSearcher() }
 func (t tnrTimer) Stats() core.Stats {
 	return core.Stats{Method: core.MethodTNR, BuildTime: t.ix.BuildTime(), IndexBytes: t.ix.SizeBytes()}
 }

@@ -5,14 +5,19 @@
 //
 // Endpoints:
 //
-//	GET /v1/distance?from=ID&to=ID      distance query (§2)
-//	GET /v1/route?from=ID&to=ID         shortest path query (§2)
-//	GET /v1/nearest?x=X&y=Y             nearest vertex to a coordinate
-//	GET /v1/stats                       index and graph statistics
+//	GET  /v1/distance?from=ID&to=ID     distance query (§2)
+//	GET  /v1/route?from=ID&to=ID        shortest path query (§2)
+//	GET  /v1/nearest?x=X&y=Y            nearest vertex to a coordinate
+//	GET  /v1/stats                      index and graph statistics
+//	POST /v1/batch/distance             source x target distance matrix
 //
-// The query indexes are single-goroutine structures, so the server
-// serializes queries with a mutex; for multi-core serving, run one index
-// per worker.
+// Concurrency: the index data of every technique is immutable after
+// construction, so the server shares one Index across all request
+// goroutines and hands each request a per-goroutine query context from a
+// core.Pool — there is no global query lock, and throughput scales with
+// cores. The batch endpoint answers an entire sources x targets matrix in
+// one request; with a CH index it runs the bucket many-to-many algorithm
+// (one search per endpoint instead of |S| x |T| point-to-point queries).
 package server
 
 import (
@@ -20,25 +25,39 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 
 	"roadnet/internal/core"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
 )
 
+// maxBatchPairs bounds the sources x targets matrix size of one batch
+// request, and maxBatchBody the request body itself (a maximal legitimate
+// batch — one list of 2^20 ten-digit ids — is ~12 MB), so a single request
+// cannot monopolize the server.
+const (
+	maxBatchPairs = 1 << 20
+	maxBatchBody  = 16 << 20
+)
+
 // Server serves queries over one graph and one index.
 type Server struct {
 	g       *graph.Graph
 	idx     core.Index
+	pool    *core.Pool
 	locator *graph.Locator
-
-	mu sync.Mutex // indexes are not safe for concurrent queries
 }
 
-// New returns a server for the given graph and index.
+// New returns a server for the given graph and index. The index is shared;
+// all per-query state comes from an internal searcher pool, so the handler
+// serves any number of requests concurrently.
 func New(g *graph.Graph, idx core.Index) *Server {
-	return &Server{g: g, idx: idx, locator: graph.NewLocator(g, 0)}
+	return &Server{
+		g:       g,
+		idx:     idx,
+		pool:    core.NewPool(idx),
+		locator: graph.NewLocator(g, 0),
+	}
 }
 
 // Handler returns the HTTP handler with all routes registered.
@@ -48,6 +67,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/route", s.handleRoute)
 	mux.HandleFunc("GET /v1/nearest", s.handleNearest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/batch/distance", s.handleBatchDistance)
 	return mux
 }
 
@@ -94,9 +114,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	s.mu.Lock()
-	d := s.idx.Distance(from, to)
-	s.mu.Unlock()
+	d := s.pool.Distance(from, to)
 	resp := distanceResponse{From: from, To: to, Reachable: d < graph.Infinity}
 	if resp.Reachable {
 		resp.Distance = d
@@ -124,9 +142,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	s.mu.Lock()
-	path, d := s.idx.ShortestPath(from, to)
-	s.mu.Unlock()
+	path, d := s.pool.ShortestPath(from, to)
 	resp := routeResponse{From: from, To: to, Reachable: path != nil}
 	if path != nil {
 		resp.Distance = d
@@ -138,6 +154,102 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchDistanceRequest asks for the full distance matrix between Sources
+// and Targets.
+type batchDistanceRequest struct {
+	Sources []int64 `json:"sources"`
+	Targets []int64 `json:"targets"`
+}
+
+// batchDistanceResponse carries the matrix: Distances[i][j] is
+// dist(Sources[i], Targets[j]), with -1 marking unreachable pairs.
+type batchDistanceResponse struct {
+	Sources   []graph.VertexID `json:"sources"`
+	Targets   []graph.VertexID `json:"targets"`
+	Distances [][]int64        `json:"distances"`
+}
+
+// vertexList validates raw ids from a batch request.
+func (s *Server) vertexList(name string, raw []int64) ([]graph.VertexID, error) {
+	out := make([]graph.VertexID, len(raw))
+	for i, id := range raw {
+		if id < 0 || id >= int64(s.g.NumVertices()) {
+			return nil, fmt.Errorf("%s[%d]: vertex %d out of range [0, %d)",
+				name, i, id, s.g.NumVertices())
+		}
+		out[i] = graph.VertexID(id)
+	}
+	return out, nil
+}
+
+// handleBatchDistance answers a sources x targets distance matrix in one
+// request. With a CH index the bucket many-to-many algorithm of Knopp et
+// al. amortizes the work to one upward search per endpoint; other methods
+// answer the pairs point-to-point on a pooled searcher.
+func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
+	var req batchDistanceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return
+	}
+	// Cap each list as well as the product: a huge list paired with an
+	// empty one has product zero but would still burn CPU in validation.
+	// The product is taken in int64 so it cannot wrap on 32-bit platforms.
+	if len(req.Sources) > maxBatchPairs || len(req.Targets) > maxBatchPairs ||
+		int64(len(req.Sources))*int64(len(req.Targets)) > maxBatchPairs {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"batch of %d x %d pairs exceeds the %d-pair limit",
+			len(req.Sources), len(req.Targets), maxBatchPairs)})
+		return
+	}
+	sources, err := s.vertexList("sources", req.Sources)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	targets, err := s.vertexList("targets", req.Targets)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+
+	var table [][]int64
+	if h := core.HierarchyOf(s.idx); h != nil && len(sources) > 1 && len(targets) > 1 {
+		// ManyToMany allocates its own search state per call, so it is safe
+		// to run concurrently over the shared hierarchy.
+		table = h.ManyToMany(sources, targets)
+		for _, row := range table {
+			for j, d := range row {
+				if d >= graph.Infinity {
+					row[j] = -1
+				}
+			}
+		}
+	} else {
+		sr := s.pool.Get()
+		table = make([][]int64, len(sources))
+		for i, src := range sources {
+			row := make([]int64, len(targets))
+			for j, tgt := range targets {
+				if d := sr.Distance(src, tgt); d < graph.Infinity {
+					row[j] = d
+				} else {
+					row[j] = -1
+				}
+			}
+			table[i] = row
+		}
+		s.pool.Put(sr)
+	}
+	writeJSON(w, http.StatusOK, batchDistanceResponse{
+		Sources:   sources,
+		Targets:   targets,
+		Distances: table,
+	})
 }
 
 type nearestResponse struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -131,6 +132,189 @@ func TestBadRequests(t *testing.T) {
 		if resp.Error == "" {
 			t.Errorf("GET %s: missing error message", path)
 		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: decoding: %v", url, err)
+	}
+}
+
+type batchResponse struct {
+	Sources   []graph.VertexID
+	Targets   []graph.VertexID
+	Distances [][]int64
+}
+
+func batchBody(sources, targets []graph.VertexID) string {
+	b, _ := json.Marshal(map[string]any{"sources": sources, "targets": targets})
+	return string(b)
+}
+
+// checkBatchAgainstOracle posts one batch request and verifies the full
+// matrix against sequential Dijkstra.
+func checkBatchAgainstOracle(t *testing.T, url string, g *graph.Graph, sources, targets []graph.VertexID) {
+	t.Helper()
+	var resp batchResponse
+	postJSON(t, url+"/v1/batch/distance", batchBody(sources, targets), http.StatusOK, &resp)
+	if len(resp.Distances) != len(sources) {
+		t.Fatalf("batch returned %d rows, want %d", len(resp.Distances), len(sources))
+	}
+	ctx := dijkstra.NewContext(g)
+	for i, s := range sources {
+		if len(resp.Distances[i]) != len(targets) {
+			t.Fatalf("batch row %d has %d entries, want %d", i, len(resp.Distances[i]), len(targets))
+		}
+		for j, tgt := range targets {
+			want := ctx.Distance(s, tgt)
+			got := resp.Distances[i][j]
+			if want >= graph.Infinity {
+				if got != -1 {
+					t.Errorf("batch dist(%d, %d) = %d, want -1 (unreachable)", s, tgt, got)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("batch dist(%d, %d) = %d, want %d", s, tgt, got, want)
+			}
+		}
+	}
+}
+
+func batchEndpoints(g *graph.Graph, pairs [][2]graph.VertexID) (sources, targets []graph.VertexID) {
+	for _, p := range pairs {
+		sources = append(sources, p[0])
+		targets = append(targets, p[1])
+	}
+	return sources, targets
+}
+
+// TestBatchDistance checks the many-to-many fast path: the test server's CH
+// index routes batches of >1 source and >1 target through the bucket
+// many-to-many algorithm.
+func TestBatchDistance(t *testing.T) {
+	ts, g := newTestServer(t)
+	sources, targets := batchEndpoints(g, testutil.SamplePairs(g, 6, 331))
+	checkBatchAgainstOracle(t, ts.URL, g, sources, targets)
+}
+
+// TestBatchDistancePointToPoint covers the pooled point-to-point paths the
+// many-to-many accelerator does not: a non-CH index, and single-source and
+// single-target shapes on CH.
+func TestBatchDistancePointToPoint(t *testing.T) {
+	g := testutil.SmallRoad(900, 951)
+	idx, err := core.BuildIndex(core.MethodDijkstra, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(g, idx).Handler())
+	defer ts.Close()
+	sources, targets := batchEndpoints(g, testutil.SamplePairs(g, 4, 337))
+	checkBatchAgainstOracle(t, ts.URL, g, sources, targets)
+
+	chTS, chG := newTestServer(t)
+	checkBatchAgainstOracle(t, chTS.URL, chG, sources[:1], targets)
+	checkBatchAgainstOracle(t, chTS.URL, chG, sources, targets[:1])
+}
+
+func TestBatchDistanceEmpty(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, body := range []string{
+		`{"sources":[],"targets":[]}`,
+		`{"sources":[],"targets":[1,2]}`,
+		`{"sources":[1,2],"targets":[]}`,
+		`{}`,
+	} {
+		var resp batchResponse
+		postJSON(t, ts.URL+"/v1/batch/distance", body, http.StatusOK, &resp)
+		for _, row := range resp.Distances {
+			if len(row) != len(resp.Targets) {
+				t.Errorf("body %s: row width %d, want %d", body, len(row), len(resp.Targets))
+			}
+		}
+	}
+}
+
+func TestBatchDistanceBadRequests(t *testing.T) {
+	ts, g := newTestServer(t)
+	n := g.NumVertices()
+	cases := []string{
+		fmt.Sprintf(`{"sources":[0],"targets":[%d]}`, n), // target out of range
+		fmt.Sprintf(`{"sources":[%d],"targets":[0]}`, n), // source out of range
+		`{"sources":[-1],"targets":[0]}`,                 // negative id
+		`{"sources":[0],"targets":[0]`,                   // truncated JSON
+		`{"sources":"zero","targets":[0]}`,               // wrong type
+		`not json at all`,                                // not JSON
+		`{"sources":[0],"targets":[0],"bogus":true}`,     // unknown field
+	}
+	for _, body := range cases {
+		var resp struct{ Error string }
+		postJSON(t, ts.URL+"/v1/batch/distance", body, http.StatusBadRequest, &resp)
+		if resp.Error == "" {
+			t.Errorf("POST %s: missing error message", body)
+		}
+	}
+}
+
+// TestConcurrentBatchRequests mirrors TestConcurrentRequests for the batch
+// endpoint: 8 clients post batches while checking every matrix against the
+// oracle.
+func TestConcurrentBatchRequests(t *testing.T) {
+	ts, g := newTestServer(t)
+	sources, targets := batchEndpoints(g, testutil.SamplePairs(g, 5, 347))
+	body := batchBody(sources, targets)
+	ctx := dijkstra.NewContext(g)
+	want := make([][]int64, len(sources))
+	for i, s := range sources {
+		want[i] = make([]int64, len(targets))
+		for j, tgt := range targets {
+			want[i][j] = ctx.Distance(s, tgt)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				resp, err := http.Post(ts.URL+"/v1/batch/distance", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out batchResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					for j := range want[i] {
+						if out.Distances[i][j] != want[i][j] {
+							errs <- fmt.Errorf("concurrent batch mismatch at (%d,%d)", i, j)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

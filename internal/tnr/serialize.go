@@ -8,7 +8,6 @@ import (
 
 	"roadnet/internal/binio"
 	"roadnet/internal/ch"
-	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
 )
@@ -116,8 +115,6 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		g:         g,
 		opts:      opts,
 		hierarchy: h,
-		chSearch:  h.NewSearcher(),
-		bi:        dijkstra.NewBidirectional(g),
 		buildTime: buildTime,
 	}
 	if ix.coarse, err = readLayer(br, g, opts.GridSize); err != nil {

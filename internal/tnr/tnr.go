@@ -93,7 +93,13 @@ func (o Options) withDefaults() Options {
 
 const invalidDist = math.MaxInt32
 
-// Index is a built transit-node-routing index.
+// Index is a built transit-node-routing index. The grid tables and the
+// fallback hierarchy are immutable after Build, so one Index may be shared
+// by any number of goroutines; per-query mutable state (the fallback search
+// contexts and the query counters) lives in a Searcher — create one per
+// goroutine with NewSearcher. The Index's own Distance/ShortestPath methods
+// delegate to one internal default Searcher and are therefore not safe for
+// concurrent use.
 type Index struct {
 	g    *graph.Graph
 	opts Options
@@ -102,15 +108,44 @@ type Index struct {
 	fine   *layer // non-nil in hybrid mode
 
 	hierarchy *ch.Hierarchy
-	chSearch  *ch.Searcher
-	bi        *dijkstra.Bidirectional
 
 	buildTime time.Duration
+
+	// def is the default searcher backing the Index's own query methods.
+	def *Searcher
 
 	// FallbackQueries counts queries answered by the fallback technique
 	// since the index was built; TableQueries counts queries answered from
 	// the precomputed tables. The Figure 9/11 analyses rely on this split.
+	// They mirror the default searcher's counters and only cover queries
+	// issued through the Index's own methods.
 	FallbackQueries, TableQueries int
+}
+
+// Searcher is a reusable query context over an Index: it owns the mutable
+// fallback search state (a CH searcher or a bidirectional Dijkstra,
+// matching the configured Fallback) and counts how its queries were
+// answered. It is not safe for concurrent use; create one per goroutine.
+type Searcher struct {
+	ix       *Index
+	chSearch *ch.Searcher            // non-nil under FallbackCH
+	bi       *dijkstra.Bidirectional // non-nil under FallbackDijkstra
+
+	// FallbackQueries counts queries this searcher answered with the
+	// fallback technique; TableQueries counts queries answered from the
+	// precomputed tables.
+	FallbackQueries, TableQueries int
+}
+
+// NewSearcher returns a fresh query context sharing ix's immutable tables.
+func (ix *Index) NewSearcher() *Searcher {
+	s := &Searcher{ix: ix}
+	if ix.opts.Fallback == FallbackDijkstra {
+		s.bi = dijkstra.NewBidirectional(ix.g)
+	} else {
+		s.chSearch = ix.hierarchy.NewSearcher()
+	}
+	return s
 }
 
 // layer is one grid level of the index.
@@ -220,8 +255,6 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 		g:         g,
 		opts:      opts,
 		hierarchy: h,
-		chSearch:  h.NewSearcher(),
-		bi:        dijkstra.NewBidirectional(g),
 	}
 	var err error
 	ix.coarse, err = buildLayer(g, h, opts.GridSize, opts.Access, true)
@@ -238,35 +271,56 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// fallbackDistance answers a query with the configured fallback technique.
-func (ix *Index) fallbackDistance(s, t graph.VertexID) int64 {
-	if ix.opts.Fallback == FallbackDijkstra {
-		return ix.bi.Query(s, t).Dist
+// defSearcher lazily creates the default searcher, so indexes queried only
+// through NewSearcher/pools never pay for its fallback search context.
+// Lazy without a lock is fine: the Index's own query methods are
+// single-goroutine by contract.
+func (ix *Index) defSearcher() *Searcher {
+	if ix.def == nil {
+		ix.def = ix.NewSearcher()
 	}
-	return ix.chSearch.Distance(s, t)
+	return ix.def
 }
 
-func (ix *Index) fallbackPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
-	if ix.opts.Fallback == FallbackDijkstra {
-		return ix.bi.ShortestPath(s, t)
+// fallbackDistance answers a query with the configured fallback technique.
+func (sr *Searcher) fallbackDistance(s, t graph.VertexID) int64 {
+	if sr.bi != nil {
+		return sr.bi.Query(s, t).Dist
 	}
-	return ix.chSearch.ShortestPath(s, t)
+	return sr.chSearch.Distance(s, t)
+}
+
+func (sr *Searcher) fallbackPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	if sr.bi != nil {
+		return sr.bi.ShortestPath(s, t)
+	}
+	return sr.chSearch.ShortestPath(s, t)
 }
 
 // Distance answers a distance query (§3.3): Equation 1 over the coarse
 // tables when the cells are far apart, the fine tables (hybrid mode) for
 // mid-range queries, and the fallback technique otherwise.
-func (ix *Index) Distance(s, t graph.VertexID) int64 {
+func (sr *Searcher) Distance(s, t graph.VertexID) int64 {
+	ix := sr.ix
 	if ix.coarse.localityPasses(s, t) {
-		ix.TableQueries++
+		sr.TableQueries++
 		return ix.coarse.distance(s, t)
 	}
 	if ix.fine != nil && ix.fine.localityPasses(s, t) {
-		ix.TableQueries++
+		sr.TableQueries++
 		return ix.fine.distance(s, t)
 	}
-	ix.FallbackQueries++
-	return ix.fallbackDistance(s, t)
+	sr.FallbackQueries++
+	return sr.fallbackDistance(s, t)
+}
+
+// Distance answers a distance query on the default searcher.
+func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	def := ix.defSearcher()
+	d := def.Distance(s, t)
+	ix.FallbackQueries = def.FallbackQueries
+	ix.TableQueries = def.TableQueries
+	return d
 }
 
 // CanAnswerFromTables reports whether the query would be answered from the
@@ -291,12 +345,13 @@ func (ix *Index) tableDistance(s, t graph.VertexID) int64 {
 // vertex is far from t the next hop is the neighbor v minimizing
 // w(cur, v) + dist(v, t) with dist evaluated from the tables (O(k) distance
 // queries); the local remainder is delegated to the fallback technique.
-func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+func (sr *Searcher) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	ix := sr.ix
 	if !ix.CanAnswerFromTables(s, t) {
-		ix.FallbackQueries++
-		return ix.fallbackPath(s, t)
+		sr.FallbackQueries++
+		return sr.fallbackPath(s, t)
 	}
-	ix.TableQueries++
+	sr.TableQueries++
 	total := ix.tableDistance(s, t)
 	if total >= graph.Infinity {
 		return nil, graph.Infinity
@@ -307,13 +362,13 @@ func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	for {
 		if !ix.CanAnswerFromTables(cur, t) {
 			// Local remainder: delegate to the fallback technique.
-			tail, tailDist := ix.fallbackPath(cur, t)
+			tail, tailDist := sr.fallbackPath(cur, t)
 			if tail == nil || tailDist != remaining {
 				// The tables and the fallback disagree; this cannot happen
 				// with a correct access-node computation, but the flawed
 				// Appendix B variant can reach this point. Trust the
 				// fallback, which is exact.
-				full, d := ix.fallbackPath(s, t)
+				full, d := sr.fallbackPath(s, t)
 				return full, d
 			}
 			return append(path, tail[1:]...), total
@@ -347,9 +402,9 @@ func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 		})
 		if !found || next < 0 {
 			// Finish with the fallback from cur.
-			tail, tailDist := ix.fallbackPath(cur, t)
+			tail, tailDist := sr.fallbackPath(cur, t)
 			if tail == nil || tailDist != remaining {
-				full, d := ix.fallbackPath(s, t)
+				full, d := sr.fallbackPath(s, t)
 				return full, d
 			}
 			return append(path, tail[1:]...), total
@@ -361,6 +416,15 @@ func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 			return path, total
 		}
 	}
+}
+
+// ShortestPath answers a shortest-path query on the default searcher.
+func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	def := ix.defSearcher()
+	path, d := def.ShortestPath(s, t)
+	ix.FallbackQueries = def.FallbackQueries
+	ix.TableQueries = def.TableQueries
+	return path, d
 }
 
 // Hierarchy returns the contraction hierarchy used for preprocessing and,

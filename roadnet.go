@@ -25,6 +25,29 @@
 //	if err != nil { ... }
 //	dist := idx.Distance(42, 4711)
 //	path, dist := idx.ShortestPath(42, 4711)
+//
+// # Concurrency
+//
+// Every index's data is immutable once NewIndex (or LoadIndex) returns, so
+// a single Index can be shared by any number of goroutines. The mutable
+// search state (distance labels, generation counters, priority queues)
+// lives in per-goroutine query contexts:
+//
+//   - Index.Distance and Index.ShortestPath run on one internal context and
+//     are NOT safe for concurrent use — they are the convenient
+//     single-goroutine API.
+//
+//   - Index.NewSearcher returns an independent Searcher; searchers from
+//     separate calls may run queries concurrently, and a searcher is
+//     reusable across queries with zero steady-state allocations on the
+//     distance hot path.
+//
+//   - NewPool wraps an Index in a sync.Pool of searchers for servers that
+//     spawn a goroutine per request:
+//
+//     pool := roadnet.NewPool(idx)
+//     go func() { dist := pool.Distance(42, 4711) }()
+//     go func() { path, dist := pool.ShortestPath(7, 11) }()
 package roadnet
 
 import (
@@ -76,8 +99,22 @@ const (
 func Methods() []Method { return core.AllMethods() }
 
 // Index is the unified query interface: exact distance and shortest-path
-// queries plus preprocessing statistics.
+// queries plus preprocessing statistics. Index data is immutable after
+// construction; see the package comment for the concurrency contract.
 type Index = core.Index
+
+// Searcher is a per-goroutine query context over a shared Index, obtained
+// from Index.NewSearcher or a Pool. A Searcher is reusable but not safe
+// for concurrent use.
+type Searcher = core.Searcher
+
+// Pool hands out reusable Searchers over one shared Index so any number
+// of goroutines can query concurrently with zero steady-state allocations
+// on the distance hot path.
+type Pool = core.Pool
+
+// NewPool returns a searcher pool over idx.
+func NewPool(idx Index) *Pool { return core.NewPool(idx) }
 
 // Stats reports an index's preprocessing time and memory footprint.
 type Stats = core.Stats
