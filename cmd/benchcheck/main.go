@@ -1,0 +1,271 @@
+// Command benchcheck is the perf-regression gate of the CI bench job: it
+// parses `go test -bench` output, aggregates repeated runs (-count N) into
+// per-benchmark medians, and compares them against a committed baseline
+// (BENCH_baseline.json), failing when a benchmark got more than the
+// threshold slower.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -cpu 4 -count 5 ./... | tee bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_baseline.json bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_baseline.json -update bench.txt
+//
+// Two kinds of checks run:
+//
+//   - Absolute: each benchmark's median ns/op must not exceed the
+//     baseline's by more than -threshold (default 10%). Absolute numbers
+//     are machine-specific, so the committed baseline must be refreshed
+//     with -update when the CI runner class changes.
+//
+//   - Relative: when both BenchmarkServerThroughput and
+//     BenchmarkServerThroughputSerialized appear in the same run, their
+//     ratio (serialized / parallel — the multi-core speedup of the pooled
+//     server) must not fall below the baseline ratio by more than the
+//     threshold. The ratio is machine-independent, so this guards the
+//     concurrency win even across runner changes.
+//
+// Use benchstat alongside for the human-readable comparison table; this
+// tool only decides pass/fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkPoolDistanceCH-4   50000   30123 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// The benchmark pair whose ratio is the machine-independent scaling gate.
+const (
+	parallelBench   = "BenchmarkServerThroughput"
+	serializedBench = "BenchmarkServerThroughputSerialized"
+)
+
+// baseline is the committed reference file.
+type baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+	// ParallelSpeedup is serialized/parallel median ns/op at the recorded
+	// CPU count — the multi-core win of the searcher-pool server.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write with -update)")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional slowdown before failing")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+
+	samples, err := parseFiles(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, ns := range samples {
+		medians[name] = median(ns)
+	}
+	speedup := speedupOf(medians)
+
+	if *update {
+		if err := writeBaseline(*baselinePath, medians, speedup); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %s with %d benchmarks\n", *baselinePath, len(medians))
+		return
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	failures := compare(base, medians, speedup, *threshold)
+	names := make([]string, 0, len(medians))
+	for name := range medians {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  %-52s %12.0f ns/op   (no baseline)\n", name, medians[name])
+			continue
+		}
+		fmt.Printf("  %-52s %12.0f ns/op   baseline %12.0f  (%+.1f%%)\n",
+			name, medians[name], ref, 100*(medians[name]-ref)/ref)
+	}
+	if speedup > 0 {
+		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "parallel speedup (serialized/parallel)", speedup, base.ParallelSpeedup)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// compare returns one message per gate violation.
+func compare(base *baseline, medians map[string]float64, speedup, threshold float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		got, ok := medians[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", name))
+			continue
+		}
+		if got > ref*(1+threshold) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.1f%% slower than baseline %.0f (threshold %.0f%%)",
+				name, got, 100*(got-ref)/ref, ref, 100*threshold))
+		}
+	}
+	if base.ParallelSpeedup > 0 && speedup > 0 && speedup < base.ParallelSpeedup*(1-threshold) {
+		failures = append(failures, fmt.Sprintf(
+			"parallel speedup %.2fx fell more than %.0f%% below baseline %.2fx — the pooled server lost its multi-core scaling",
+			speedup, 100*threshold, base.ParallelSpeedup))
+	}
+	return failures
+}
+
+// speedupOf derives the serialized/parallel ratio when both throughput
+// benchmarks (at any -cpu suffix) are present, preferring the highest CPU
+// count in the run.
+func speedupOf(medians map[string]float64) float64 {
+	best := 0.0
+	bestCPU := -1
+	for name, par := range medians {
+		prefix, cpu := splitCPU(name)
+		if prefix != parallelBench {
+			continue
+		}
+		ser, ok := medians[serializedName(cpu)]
+		if !ok || par <= 0 {
+			continue
+		}
+		if cpu > bestCPU {
+			bestCPU = cpu
+			best = ser / par
+		}
+	}
+	return best
+}
+
+func serializedName(cpu int) string {
+	if cpu <= 1 {
+		return serializedBench
+	}
+	return fmt.Sprintf("%s-%d", serializedBench, cpu)
+}
+
+// splitCPU splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8); a name with no
+// suffix is CPU 1.
+func splitCPU(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	cpu, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 1
+	}
+	return name[:i], cpu
+}
+
+func parseFiles(paths []string) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	read := func(f *os.File) error {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if m := benchLine.FindStringSubmatch(sc.Text()); m != nil {
+				ns, err := strconv.ParseFloat(m[2], 64)
+				if err != nil {
+					return fmt.Errorf("parsing %q: %w", sc.Text(), err)
+				}
+				samples[m[1]] = append(samples[m[1]], ns)
+			}
+		}
+		return sc.Err()
+	}
+	if len(paths) == 0 {
+		if err := read(os.Stdin); err != nil {
+			return nil, err
+		}
+		return samples, nil
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		err = read(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, medians map[string]float64, speedup float64) error {
+	b := baseline{
+		Note: "Median ns/op per benchmark from `go test -bench -cpu 4 -count 5`, " +
+			"compared by cmd/benchcheck with a fractional threshold. Absolute numbers are " +
+			"machine-specific: refresh with `go run ./cmd/benchcheck -update` output when the " +
+			"CI runner class changes. parallel_speedup (serialized/parallel server throughput) " +
+			"is machine-independent and guards the multi-core scaling of the searcher pool.",
+		Benchmarks:      medians,
+		ParallelSpeedup: speedup,
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,11 @@
 // query context from a searcher pool, so throughput scales with cores
 // (GOMAXPROCS).
 //
+// The searcher pool can be bounded (-pool-max caps live searchers, so the
+// per-searcher O(n) arrays cannot grow without bound on very large graphs)
+// and pre-warmed (-prewarm builds N searchers before the listener opens, so
+// the first request burst does not pay N allocations).
+//
 // API:
 //
 //	GET  /v1/distance?from=ID&to=ID
@@ -21,6 +26,10 @@
 //	GET  /v1/nearest?x=X&y=Y
 //	GET  /v1/stats
 //	POST /v1/batch/distance            {"sources":[...],"targets":[...]}
+//	POST /v1/batch/route               {"sources":[...],"targets":[...]}
+//
+// Request contexts are propagated into every query, so disconnected
+// clients stop consuming CPU mid-search.
 package main
 
 import (
@@ -44,6 +53,8 @@ func main() {
 		method    = flag.String("method", "ch", "technique: dijkstra, ch, tnr, silc, pcpd, alt, arcflags")
 		indexPath = flag.String("index", "", "index file: load if present, else build and save (ch/tnr/silc)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		poolMax   = flag.Int("pool-max", 0, "cap on live searchers (0 = unbounded); requests block when all are busy")
+		prewarm   = flag.Int("prewarm", runtime.GOMAXPROCS(0), "searchers to build before serving, so the first burst pays no allocations (guaranteed to stay warm only with -pool-max; unbounded pools may drop idle searchers at GC)")
 	)
 	flag.Parse()
 
@@ -62,7 +73,20 @@ func main() {
 	st := idx.Stats()
 	fmt.Printf("index: %s, %d KB, built in %v\n", st.Method, st.IndexBytes/1024, st.BuildTime.Round(time.Millisecond))
 
-	srv := server.New(g, idx)
+	var poolOpts []core.PoolOption
+	if *poolMax > 0 {
+		poolOpts = append(poolOpts, core.WithMaxSearchers(*poolMax))
+	}
+	pool := core.NewPool(idx, poolOpts...)
+	if n := pool.Prewarm(*prewarm); n > 0 {
+		fmt.Printf("pool: pre-warmed %d searchers", n)
+		if *poolMax > 0 {
+			fmt.Printf(" (cap %d)", *poolMax)
+		}
+		fmt.Println()
+	}
+
+	srv := server.New(g, idx, server.WithPool(pool))
 	fmt.Printf("listening on %s, serving concurrently on up to %d cores\n", *addr, runtime.GOMAXPROCS(0))
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

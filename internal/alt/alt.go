@@ -11,8 +11,10 @@
 package alt
 
 import (
+	"context"
 	"time"
 
+	"roadnet/internal/cancel"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/graph"
 	"roadnet/internal/pq"
@@ -163,8 +165,10 @@ func (s *Searcher) reset() {
 	s.heap.Clear()
 }
 
-// run executes A* from src to t and returns whether t was settled.
-func (s *Searcher) run(src, t graph.VertexID) bool {
+// runCtx executes A* from src to t and returns whether t was settled,
+// with cancellation: the search polls ctx every
+// cancel.Interval settled vertices and aborts with its error.
+func (s *Searcher) runCtx(ctx context.Context, src, t graph.VertexID) (bool, error) {
 	ix := s.ix
 	s.reset()
 	s.settledLast = 0
@@ -173,10 +177,13 @@ func (s *Searcher) run(src, t graph.VertexID) bool {
 	s.parent[src] = -1
 	s.heap.Push(src, ix.potential(src, t))
 	for !s.heap.Empty() {
+		if err := cancel.Poll(ctx, s.settledLast); err != nil {
+			return false, err
+		}
 		v, _ := s.heap.Pop()
 		s.settledLast++
 		if v == t {
-			return true
+			return true, nil
 		}
 		d := s.dist[v]
 		lo, hi := ix.g.ArcsOf(v)
@@ -195,27 +202,55 @@ func (s *Searcher) run(src, t graph.VertexID) bool {
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // Distance answers a distance query.
 func (s *Searcher) Distance(src, t graph.VertexID) int64 {
-	if src == t {
-		return 0
-	}
-	if !s.run(src, t) {
-		return graph.Infinity
-	}
-	return s.dist[t]
+	d, _ := s.DistanceContext(context.Background(), src, t)
+	return d
 }
 
 // ShortestPath answers a shortest-path query.
 func (s *Searcher) ShortestPath(src, t graph.VertexID) ([]graph.VertexID, int64) {
-	if src == t {
-		return []graph.VertexID{src}, 0
+	path, d, _ := s.ShortestPathContext(context.Background(), src, t)
+	return path, d
+}
+
+// DistanceContext is Distance with cancellation (see runCtx). An
+// already-cancelled context aborts before any work, trivial s == t
+// queries included.
+func (s *Searcher) DistanceContext(ctx context.Context, src, t graph.VertexID) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return graph.Infinity, err
 	}
-	if !s.run(src, t) {
-		return nil, graph.Infinity
+	if src == t {
+		return 0, nil
+	}
+	found, err := s.runCtx(ctx, src, t)
+	if err != nil {
+		return graph.Infinity, err
+	}
+	if !found {
+		return graph.Infinity, nil
+	}
+	return s.dist[t], nil
+}
+
+// ShortestPathContext is ShortestPath with cancellation (see runCtx).
+func (s *Searcher) ShortestPathContext(ctx context.Context, src, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, graph.Infinity, err
+	}
+	if src == t {
+		return []graph.VertexID{src}, 0, nil
+	}
+	found, err := s.runCtx(ctx, src, t)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	if !found {
+		return nil, graph.Infinity, nil
 	}
 	var rev []graph.VertexID
 	for v := t; v >= 0; v = graph.VertexID(s.parent[v]) {
@@ -224,7 +259,7 @@ func (s *Searcher) ShortestPath(src, t graph.VertexID) ([]graph.VertexID, int64)
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, s.dist[t]
+	return rev, s.dist[t], nil
 }
 
 // SettledLast reports the vertices settled by the last query.

@@ -1,6 +1,9 @@
 package ch
 
 import (
+	"context"
+
+	"roadnet/internal/cancel"
 	"roadnet/internal/graph"
 	"roadnet/internal/pq"
 )
@@ -20,6 +23,15 @@ import (
 // table[i][j] is dist(sources[i], targets[j]), or graph.Infinity when
 // unreachable.
 func (h *Hierarchy) ManyToMany(sources, targets []graph.VertexID) [][]int64 {
+	table, _ := h.ManyToManyContext(context.Background(), sources, targets)
+	return table
+}
+
+// ManyToManyContext is ManyToMany with cancellation: the per-endpoint
+// upward searches poll ctx every cancel.Interval settled vertices, so a
+// large matrix request aborts promptly when its context is cancelled. On
+// cancellation the partial table is discarded and ctx's error returned.
+func (h *Hierarchy) ManyToManyContext(ctx context.Context, sources, targets []graph.VertexID) ([][]int64, error) {
 	table := make([][]int64, len(sources))
 	for i := range table {
 		row := make([]int64, len(targets))
@@ -28,10 +40,13 @@ func (h *Hierarchy) ManyToMany(sources, targets []graph.VertexID) [][]int64 {
 		}
 		table[i] = row
 	}
-	h.ManyToManyEach(sources, targets, func(si, ti int, d int64) {
+	err := h.manyToManyEach(ctx, sources, targets, func(si, ti int, d int64) {
 		table[si][ti] = d
 	})
-	return table
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
 }
 
 // ManyToManyEach computes the same distances as ManyToMany but streams them:
@@ -40,8 +55,12 @@ func (h *Hierarchy) ManyToMany(sources, targets []graph.VertexID) [][]int64 {
 // callers with sparse needs (e.g. TNR's hybrid-grid table) avoid
 // materializing a quadratic table.
 func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si, ti int, d int64)) {
+	_ = h.manyToManyEach(context.Background(), sources, targets, fn)
+}
+
+func (h *Hierarchy) manyToManyEach(ctx context.Context, sources, targets []graph.VertexID, fn func(si, ti int, d int64)) error {
 	if len(sources) == 0 || len(targets) == 0 {
-		return
+		return nil
 	}
 	n := h.g.NumVertices()
 	type bucketEntry struct {
@@ -55,7 +74,8 @@ func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si
 	gen := make([]uint32, n)
 	var cur uint32
 	heap := pq.New(n)
-	upward := func(root graph.VertexID, visitSettled func(v graph.VertexID, d int64)) {
+	totalSettled := 0
+	upward := func(root graph.VertexID, visitSettled func(v graph.VertexID, d int64)) error {
 		cur++
 		if cur == 0 {
 			for i := range gen {
@@ -68,7 +88,11 @@ func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si
 		dist[root] = 0
 		heap.Push(root, 0)
 		for !heap.Empty() {
+			if err := cancel.Poll(ctx, totalSettled); err != nil {
+				return err
+			}
 			v, d := heap.Pop()
+			totalSettled++
 			visitSettled(v, d)
 			for a := h.firstUp[v]; a < h.firstUp[v+1]; a++ {
 				w := h.upHead[a]
@@ -83,13 +107,17 @@ func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si
 				}
 			}
 		}
+		return nil
 	}
 
 	for ti, t := range targets {
 		ti32 := int32(ti)
-		upward(t, func(v graph.VertexID, d int64) {
+		err := upward(t, func(v graph.VertexID, d int64) {
 			buckets[v] = append(buckets[v], bucketEntry{target: ti32, dist: d})
 		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// Per-source scratch row, reset via the touched list so each pair is
@@ -101,7 +129,7 @@ func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si
 	var touched []int32
 	for si, s := range sources {
 		touched = touched[:0]
-		upward(s, func(v graph.VertexID, d int64) {
+		err := upward(s, func(v graph.VertexID, d int64) {
 			for _, be := range buckets[v] {
 				if total := d + be.dist; total < row[be.target] {
 					if row[be.target] == graph.Infinity {
@@ -111,9 +139,13 @@ func (h *Hierarchy) ManyToManyEach(sources, targets []graph.VertexID, fn func(si
 				}
 			}
 		})
+		if err != nil {
+			return err
+		}
 		for _, ti := range touched {
 			fn(si, int(ti), row[ti])
 			row[ti] = graph.Infinity
 		}
 	}
+	return nil
 }

@@ -1,6 +1,9 @@
 package ch
 
 import (
+	"context"
+
+	"roadnet/internal/cancel"
 	"roadnet/internal/graph"
 	"roadnet/internal/pq"
 )
@@ -92,16 +95,34 @@ func (s *Searcher) Distance(from, to graph.VertexID) int64 {
 	return s.lastDist
 }
 
+// DistanceContext is Distance with cancellation: the upward searches poll
+// ctx every cancel.Interval settled vertices and abort with its error.
+func (s *Searcher) DistanceContext(ctx context.Context, from, to graph.VertexID) (int64, error) {
+	if err := s.runCtx(ctx, from, to); err != nil {
+		return graph.Infinity, err
+	}
+	return s.lastDist, nil
+}
+
 // SettledLast returns how many vertices the two upward searches of the last
 // query settled, for search-space comparisons against plain Dijkstra.
 func (s *Searcher) SettledLast() int { return s.settledCount }
 
 func (s *Searcher) run(from, to graph.VertexID) {
+	_ = s.runCtx(context.Background(), from, to)
+}
+
+func (s *Searcher) runCtx(ctx context.Context, from, to graph.VertexID) error {
+	// Per the cancellation contract, an already-cancelled context aborts
+	// before any work, trivial from == to queries included.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.reset()
 	if from == to {
 		s.lastDist = 0
 		s.lastMeet = from
-		return
+		return nil
 	}
 	s.visit(0, from, 0, -1, -1)
 	s.visit(1, to, 0, -1, -1)
@@ -110,6 +131,9 @@ func (s *Searcher) run(from, to graph.VertexID) {
 	meet := graph.VertexID(-1)
 
 	for {
+		if err := cancel.Poll(ctx, s.settledCount); err != nil {
+			return err
+		}
 		k0, k1 := graph.Infinity, graph.Infinity
 		if !s.heap[0].Empty() {
 			_, k0 = s.heap[0].Min()
@@ -159,12 +183,28 @@ func (s *Searcher) run(from, to graph.VertexID) {
 	}
 	s.lastDist = best
 	s.lastMeet = meet
+	return nil
 }
 
 // ShortestPath returns the exact shortest path in the original graph
 // (shortcuts unpacked) and its length.
 func (s *Searcher) ShortestPath(from, to graph.VertexID) ([]graph.VertexID, int64) {
 	s.run(from, to)
+	return s.pathFromLast(from, to)
+}
+
+// ShortestPathContext is ShortestPath with cancellation (see
+// DistanceContext).
+func (s *Searcher) ShortestPathContext(ctx context.Context, from, to graph.VertexID) ([]graph.VertexID, int64, error) {
+	if err := s.runCtx(ctx, from, to); err != nil {
+		return nil, graph.Infinity, err
+	}
+	path, d := s.pathFromLast(from, to)
+	return path, d, nil
+}
+
+// pathFromLast reconstructs the unpacked path of the last run call.
+func (s *Searcher) pathFromLast(from, to graph.VertexID) ([]graph.VertexID, int64) {
 	if s.lastMeet < 0 {
 		if from == to && s.lastDist == 0 {
 			return []graph.VertexID{from}, 0

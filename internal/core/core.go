@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -87,6 +88,14 @@ type Index interface {
 // across any number of queries with zero steady-state allocations on the
 // distance hot path, but is not safe for concurrent use — create one per
 // goroutine, or hand them out through a Pool.
+// Cancellation contract: the Context variants poll ctx at bounded
+// intervals (every cancel.Interval settled vertices, path hops, or
+// recursion steps — whichever unit the technique's query loop advances in)
+// and abort with ctx's error. Every technique polls, including the
+// bidirectional-Dijkstra fallback inside TNR, so a cancelled request stops
+// burning CPU within a bounded number of steps no matter which index
+// serves it. A query issued on an already-cancelled context aborts before
+// doing any work, and an aborted Searcher remains valid for reuse.
 type Searcher interface {
 	// Distance answers a distance query, returning graph.Infinity for
 	// unreachable pairs.
@@ -94,6 +103,28 @@ type Searcher interface {
 	// ShortestPath answers a shortest path query, returning the vertex
 	// sequence and the path length, or (nil, graph.Infinity).
 	ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64)
+	// DistanceContext is Distance with cancellation: it polls ctx at
+	// bounded intervals and aborts with its error.
+	DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error)
+	// ShortestPathContext is ShortestPath with cancellation.
+	ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error)
+}
+
+// BatchDistancer is the per-technique batch acceleration contract: a
+// Searcher additionally implements it when the technique can answer a full
+// sources×targets distance matrix faster than |S|×|T| independent
+// point-to-point queries. TNR implements it with one table-lookup sweep
+// whose per-endpoint access-node operands are computed once per endpoint,
+// and SILC with target-wise walks that memoize shared path suffixes; CH
+// batches are routed to the hierarchy's bucket many-to-many algorithm by
+// Pool.BatchDistance before this interface is consulted.
+//
+// table[i][j] must be dist(sources[i], targets[j]) with graph.Infinity for
+// unreachable pairs, bit-identical to per-pair DistanceContext calls, and
+// implementations must poll ctx at bounded intervals, returning its error
+// on cancellation.
+type BatchDistancer interface {
+	BatchDistance(ctx context.Context, sources, targets []graph.VertexID) ([][]int64, error)
 }
 
 // ErrIndexTooLarge is returned when an index exceeds the configured memory

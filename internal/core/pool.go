@@ -1,16 +1,29 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"roadnet/internal/graph"
 )
 
 // Pool hands out reusable Searchers over one shared Index so any number of
-// goroutines can query concurrently. It is backed by sync.Pool: searchers
-// are created on demand, recycled across queries, and dropped under memory
+// goroutines can query concurrently.
+//
+// An unbounded pool (the default) is backed by sync.Pool: searchers are
+// created on demand, recycled across queries, and dropped under memory
 // pressure, so steady-state operation allocates nothing on the distance
 // hot path.
+//
+// A bounded pool (WithMaxSearchers) never creates more than the configured
+// number of searchers, capping the memory spent on the O(n) per-searcher
+// arrays on very large graphs: once the cap is reached, Get blocks until a
+// searcher is returned. Bounded searchers are retained for the lifetime of
+// the pool, never dropped.
+//
+// Prewarm builds searchers ahead of the first request burst, so that burst
+// does not pay one O(n)-array allocation per concurrent request.
 //
 // Either check out a searcher explicitly (Get/Put) to amortize the
 // checkout over several queries, or use the Distance/ShortestPath
@@ -18,24 +31,121 @@ import (
 type Pool struct {
 	idx  Index
 	pool sync.Pool
+
+	// Bounded mode (max > 0): idle holds returned searchers and created
+	// counts the live total, never exceeding max.
+	max     int64
+	idle    chan Searcher
+	created atomic.Int64
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*Pool)
+
+// WithMaxSearchers bounds the pool to at most n live searchers; Get blocks
+// when all are checked out. n <= 0 leaves the pool unbounded.
+func WithMaxSearchers(n int) PoolOption {
+	return func(p *Pool) {
+		if n > 0 {
+			p.max = int64(n)
+		}
+	}
 }
 
 // NewPool returns a searcher pool over idx.
-func NewPool(idx Index) *Pool {
+func NewPool(idx Index, opts ...PoolOption) *Pool {
 	p := &Pool{idx: idx}
-	p.pool.New = func() any { return idx.NewSearcher() }
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.max > 0 {
+		p.idle = make(chan Searcher, p.max)
+	} else {
+		p.pool.New = func() any { return idx.NewSearcher() }
+	}
 	return p
 }
 
 // Index returns the shared index the pool serves.
 func (p *Pool) Index() Index { return p.idx }
 
-// Get checks a searcher out of the pool. Return it with Put when done; a
-// searcher that is never returned is simply garbage collected.
-func (p *Pool) Get() Searcher { return p.pool.Get().(Searcher) }
+// MaxSearchers returns the configured cap, or 0 when unbounded.
+func (p *Pool) MaxSearchers() int { return int(p.max) }
+
+// Get checks a searcher out of the pool. Return it with Put when done. On
+// an unbounded pool a searcher that is never returned is simply garbage
+// collected; on a bounded pool it permanently consumes one slot of the
+// cap, and Get blocks when every searcher is checked out.
+func (p *Pool) Get() Searcher {
+	s, _ := p.GetContext(context.Background())
+	return s
+}
+
+// GetContext is Get with cancellation: on a bounded pool whose searchers
+// are all checked out, the wait for a free searcher aborts with ctx's
+// error, so requests whose clients have already gone away do not queue
+// behind live ones. On an unbounded pool (which never blocks) only an
+// already-cancelled context aborts.
+func (p *Pool) GetContext(ctx context.Context) (Searcher, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.max > 0 {
+		select {
+		case s := <-p.idle:
+			return s, nil
+		default:
+		}
+		if p.created.Add(1) <= p.max {
+			return p.idx.NewSearcher(), nil
+		}
+		p.created.Add(-1)
+		select {
+		case s := <-p.idle:
+			return s, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return p.pool.Get().(Searcher), nil
+}
 
 // Put returns a searcher obtained from Get to the pool.
-func (p *Pool) Put(s Searcher) { p.pool.Put(s) }
+func (p *Pool) Put(s Searcher) {
+	if p.max > 0 {
+		p.idle <- s
+		return
+	}
+	p.pool.Put(s)
+}
+
+// Prewarm creates up to n searchers ahead of time and parks them in the
+// pool, so the first burst of concurrent requests does not pay one
+// O(n)-array allocation each. On a bounded pool, n is clamped to the
+// remaining headroom under the cap. It returns how many searchers were
+// created.
+//
+// A bounded pool retains warmed searchers forever; an unbounded pool parks
+// them in a sync.Pool, where the garbage collector may reclaim them after
+// roughly two idle GC cycles — prewarming an unbounded pool helps a burst
+// that arrives promptly, but only a bounded pool guarantees the warm set
+// survives an idle period.
+func (p *Pool) Prewarm(n int) int {
+	warmed := make([]Searcher, 0, n)
+	for i := 0; i < n; i++ {
+		if p.max > 0 && p.created.Add(1) > p.max {
+			p.created.Add(-1)
+			break
+		}
+		warmed = append(warmed, p.idx.NewSearcher())
+	}
+	// Park them only after creating all of them: an immediate Put-per-Get
+	// would let one searcher be handed back out and defeat the warming.
+	for _, s := range warmed {
+		p.Put(s)
+	}
+	return len(warmed)
+}
 
 // Distance answers one distance query on a pooled searcher.
 func (p *Pool) Distance(s, t graph.VertexID) int64 {
@@ -51,4 +161,80 @@ func (p *Pool) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 	path, d := sr.ShortestPath(s, t)
 	p.Put(sr)
 	return path, d
+}
+
+// DistanceContext answers one distance query on a pooled searcher with
+// cancellation (see the Searcher cancellation contract). The searcher is
+// returned to the pool even when the query aborts — an aborted searcher
+// remains valid for reuse.
+func (p *Pool) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
+	sr, err := p.GetContext(ctx)
+	if err != nil {
+		return graph.Infinity, err
+	}
+	d, err := sr.DistanceContext(ctx, s, t)
+	p.Put(sr)
+	return d, err
+}
+
+// ShortestPathContext answers one shortest-path query on a pooled searcher
+// with cancellation.
+func (p *Pool) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	sr, err := p.GetContext(ctx)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	path, d, err := sr.ShortestPathContext(ctx, s, t)
+	p.Put(sr)
+	return path, d, err
+}
+
+// BatchDistance computes the full sources×targets distance matrix with the
+// best accelerator the index offers. table[i][j] is
+// dist(sources[i], targets[j]), graph.Infinity for unreachable pairs.
+//
+// Dispatch, per the batch acceleration contract:
+//   - CH: the bucket many-to-many algorithm of Knopp et al. — one upward
+//     search per endpoint instead of |S|×|T| point-to-point queries (used
+//     when both lists have more than one element; smaller shapes gain
+//     nothing from the bucket pass).
+//   - TNR, SILC: the technique's BatchDistancer fast path (one table-lookup
+//     sweep with per-endpoint operands hoisted; target-wise walks with
+//     shared path-suffix memoization).
+//   - Everything else: per-pair DistanceContext on one pooled searcher.
+//
+// Every path polls ctx at bounded intervals; on cancellation the partial
+// work is discarded and ctx's error returned. All paths return matrices
+// bit-identical to per-pair queries.
+//
+// Every batch — the CH many-to-many included, even though it brings its
+// own scratch state — holds one pool slot for its duration, so a bounded
+// pool's cap also bounds how many batch matrices are computed at once.
+func (p *Pool) BatchDistance(ctx context.Context, sources, targets []graph.VertexID) ([][]int64, error) {
+	sr, err := p.GetContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Put(sr)
+	if h := HierarchyOf(p.idx); h != nil && len(sources) > 1 && len(targets) > 1 {
+		return h.ManyToManyContext(ctx, sources, targets)
+	}
+	if bd, ok := sr.(BatchDistancer); ok {
+		return bd.BatchDistance(ctx, sources, targets)
+	}
+	table := make([][]int64, len(sources))
+	for i, s := range sources {
+		row := make([]int64, len(targets))
+		for j, t := range targets {
+			// DistanceContext polls ctx itself, at worst every
+			// cancel.Interval steps of its query loop.
+			d, err := sr.DistanceContext(ctx, s, t)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = d
+		}
+		table[i] = row
+	}
+	return table, nil
 }

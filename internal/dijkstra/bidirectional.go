@@ -1,6 +1,9 @@
 package dijkstra
 
 import (
+	"context"
+
+	"roadnet/internal/cancel"
 	"roadnet/internal/graph"
 	"roadnet/internal/pq"
 )
@@ -81,9 +84,23 @@ type Result struct {
 // Query computes the shortest-path distance between s and t. The returned
 // Result's Meet vertex can be passed to Path to reconstruct the path.
 func (b *Bidirectional) Query(s, t graph.VertexID) Result {
+	r, _ := b.QueryContext(context.Background(), s, t)
+	return r
+}
+
+// QueryContext is Query with cancellation: the search polls ctx every
+// cancel.Interval settled vertices and aborts with ctx's error when it is
+// done, so a long search on a large network stops within a bounded number
+// of settles of the request being cancelled.
+func (b *Bidirectional) QueryContext(ctx context.Context, s, t graph.VertexID) (Result, error) {
+	// Per the cancellation contract, an already-cancelled context aborts
+	// before any work, trivial s == t queries included.
+	if err := ctx.Err(); err != nil {
+		return Result{Dist: graph.Infinity, Meet: -1}, err
+	}
 	b.reset()
 	if s == t {
-		return Result{Dist: 0, Meet: s}
+		return Result{Dist: 0, Meet: s}, nil
 	}
 	b.visit(0, s, 0, -1)
 	b.visit(1, t, 0, -1)
@@ -93,6 +110,9 @@ func (b *Bidirectional) Query(s, t graph.VertexID) Result {
 	settled := 0
 
 	for !b.heap[0].Empty() || !b.heap[1].Empty() {
+		if err := cancel.Poll(ctx, settled); err != nil {
+			return Result{Dist: graph.Infinity, Meet: -1, Settled: settled}, err
+		}
 		// Alternate by smaller queue head; a finished side stops expanding.
 		k0, k1 := graph.Infinity, graph.Infinity
 		if !b.heap[0].Empty() {
@@ -131,9 +151,9 @@ func (b *Bidirectional) Query(s, t graph.VertexID) Result {
 		}
 	}
 	if meet < 0 {
-		return Result{Dist: graph.Infinity, Meet: -1, Settled: settled}
+		return Result{Dist: graph.Infinity, Meet: -1, Settled: settled}, nil
 	}
-	return Result{Dist: best, Meet: meet, Settled: settled}
+	return Result{Dist: best, Meet: meet, Settled: settled}, nil
 }
 
 // Path reconstructs the s-t path of the last Query call from its Result.
@@ -177,4 +197,22 @@ func (b *Bidirectional) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int
 		return nil, graph.Infinity
 	}
 	return b.Path(r), r.Dist
+}
+
+// DistanceContext is Distance with cancellation (see QueryContext).
+func (b *Bidirectional) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
+	r, err := b.QueryContext(ctx, s, t)
+	return r.Dist, err
+}
+
+// ShortestPathContext is ShortestPath with cancellation (see QueryContext).
+func (b *Bidirectional) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	r, err := b.QueryContext(ctx, s, t)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	if r.Dist >= graph.Infinity {
+		return nil, graph.Infinity, nil
+	}
+	return b.Path(r), r.Dist, nil
 }

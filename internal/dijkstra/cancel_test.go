@@ -1,0 +1,85 @@
+package dijkstra_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"roadnet/internal/cancel"
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/graph"
+	"roadnet/internal/testutil"
+)
+
+// countdownCtx reports Done after its Err method has been consulted a given
+// number of times — a deterministic stand-in for a context cancelled
+// mid-query, independent of wall-clock timing.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestQueryContextAbortsMidSearch proves the bounded-interval cancellation
+// contract on the baseline search: the context stays live for exactly one
+// poll, so the query starts working and must stop at the second poll —
+// within cancel.Interval settles, far before the search would complete.
+func TestQueryContextAbortsMidSearch(t *testing.T) {
+	g := testutil.SmallRoad(4000, 41)
+	bi := dijkstra.NewBidirectional(g)
+
+	// Pick the sampled pair whose full search settles the most vertices.
+	var longest [2]graph.VertexID
+	maxSettled := 0
+	for _, p := range testutil.SamplePairs(g, 50, 653) {
+		if r := bi.Query(p[0], p[1]); r.Dist < graph.Infinity && r.Settled > maxSettled {
+			longest, maxSettled = p, r.Settled
+		}
+	}
+	if maxSettled <= 2*cancel.Interval {
+		t.Fatalf("largest sampled search settles only %d vertices; need > %d for a meaningful abort test",
+			maxSettled, 2*cancel.Interval)
+	}
+	want := bi.Query(longest[0], longest[1]).Dist
+
+	ctx := &countdownCtx{Context: context.Background(), remaining: 1}
+	r, err := bi.QueryContext(ctx, longest[0], longest[1])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext with mid-search cancellation: err = %v, want context.Canceled", err)
+	}
+	if r.Settled > 2*cancel.Interval {
+		t.Fatalf("aborted search settled %d vertices, want <= %d (bounded abort)", r.Settled, 2*cancel.Interval)
+	}
+	if r.Settled >= maxSettled {
+		t.Fatalf("aborted search settled %d vertices, no fewer than the full search's %d", r.Settled, maxSettled)
+	}
+
+	// The searcher is reusable and exact after the mid-search abort.
+	if d, err := bi.DistanceContext(context.Background(), longest[0], longest[1]); err != nil || d != want {
+		t.Fatalf("after abort: dist = %d, err = %v, want %d, nil", d, err, want)
+	}
+}
+
+// TestQueryContextDeadline checks the deadline form of cancellation: an
+// expired deadline aborts the search with context.DeadlineExceeded before
+// any work is done.
+func TestQueryContextDeadline(t *testing.T) {
+	g := testutil.SmallRoad(900, 41)
+	bi := dijkstra.NewBidirectional(g)
+	ctx, cancelFn := context.WithTimeout(context.Background(), -1)
+	defer cancelFn()
+	r, err := bi.QueryContext(ctx, 0, graph.VertexID(g.NumVertices()-1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("QueryContext past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if r.Settled != 0 {
+		t.Fatalf("expired-deadline search settled %d vertices, want 0", r.Settled)
+	}
+}

@@ -18,12 +18,14 @@
 package pcpd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"roadnet/internal/cancel"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
@@ -471,9 +473,26 @@ func (ix *Index) lookup(s, t graph.VertexID) psiValue {
 	return psiNone
 }
 
+// walker carries the per-query cancellation state of one recursive path
+// decomposition: a step counter polled at bounded intervals and the first
+// context error observed, which aborts the recursion.
+type walker struct {
+	ctx   context.Context
+	steps int
+	err   error
+}
+
 // appendPath appends the vertices of the shortest path after s up to and
-// including t, returning the accumulated weight, or false when unreachable.
-func (ix *Index) appendPath(path *[]graph.VertexID, s, t graph.VertexID, total *int64, depth int) bool {
+// including t, returning the accumulated weight, or false when unreachable
+// or when w's context was cancelled (w.err is then set).
+func (ix *Index) appendPath(w *walker, path *[]graph.VertexID, s, t graph.VertexID, total *int64, depth int) bool {
+	if w.err != nil {
+		return false
+	}
+	if w.err = cancel.Poll(w.ctx, w.steps); w.err != nil {
+		return false
+	}
+	w.steps++
 	if s == t {
 		return true
 	}
@@ -490,51 +509,83 @@ func (ix *Index) appendPath(path *[]graph.VertexID, s, t graph.VertexID, total *
 		if psi&1 != 0 {
 			u, v = v, u
 		}
-		if !ix.appendPath(path, s, u, total, depth+1) {
+		if !ix.appendPath(w, path, s, u, total, depth+1) {
 			return false
 		}
 		if path != nil {
 			*path = append(*path, v)
 		}
 		*total += int64(e.Weight)
-		return ix.appendPath(path, v, t, total, depth+1)
+		return ix.appendPath(w, path, v, t, total, depth+1)
 	default:
-		w := graph.VertexID(psi)
-		if w == s || w == t {
+		m := graph.VertexID(psi)
+		if m == s || m == t {
 			return false // interiority violated: corrupted index
 		}
-		if !ix.appendPath(path, s, w, total, depth+1) {
+		if !ix.appendPath(w, path, s, m, total, depth+1) {
 			return false
 		}
-		return ix.appendPath(path, w, t, total, depth+1)
+		return ix.appendPath(w, path, m, t, total, depth+1)
 	}
 }
 
 // ShortestPath answers a shortest-path query by recursive decomposition
 // (§3.5), returning the vertex path and its length.
 func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	path, d, _ := ix.ShortestPathContext(context.Background(), s, t)
+	return path, d
+}
+
+// ShortestPathContext is ShortestPath with cancellation: the recursion
+// polls ctx every cancel.Interval recursion steps and aborts with its
+// error.
+func (ix *Index) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, graph.Infinity, err
+	}
 	if s == t {
-		return []graph.VertexID{s}, 0
+		return []graph.VertexID{s}, 0, nil
 	}
 	path := []graph.VertexID{s}
 	var total int64
-	if !ix.appendPath(&path, s, t, &total, 0) {
-		return nil, graph.Infinity
+	w := walker{ctx: ctx}
+	ok := ix.appendPath(&w, &path, s, t, &total, 0)
+	if w.err != nil {
+		return nil, graph.Infinity, w.err
 	}
-	return path, total
+	if !ok {
+		return nil, graph.Infinity, nil
+	}
+	return path, total, nil
 }
 
 // Distance computes the shortest path and returns its length (§3.5: PCPD
 // first computes the path, then returns the sum of its edge weights).
 func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	d, _ := ix.DistanceContext(context.Background(), s, t)
+	return d
+}
+
+// DistanceContext is Distance with cancellation (see ShortestPathContext).
+// An already-cancelled context aborts before any work, trivial s == t
+// queries included.
+func (ix *Index) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return graph.Infinity, err
+	}
 	if s == t {
-		return 0
+		return 0, nil
 	}
 	var total int64
-	if !ix.appendPath(nil, s, t, &total, 0) {
-		return graph.Infinity
+	w := walker{ctx: ctx}
+	ok := ix.appendPath(&w, nil, s, t, &total, 0)
+	if w.err != nil {
+		return graph.Infinity, w.err
 	}
-	return total
+	if !ok {
+		return graph.Infinity, nil
+	}
+	return total, nil
 }
 
 // NumPairs returns |Spcp|, the number of path-coherent pairs.

@@ -10,18 +10,38 @@
 //	GET  /v1/nearest?x=X&y=Y            nearest vertex to a coordinate
 //	GET  /v1/stats                      index and graph statistics
 //	POST /v1/batch/distance             source x target distance matrix
+//	POST /v1/batch/route                source x target full-path matrix
 //
 // Concurrency: the index data of every technique is immutable after
 // construction, so the server shares one Index across all request
 // goroutines and hands each request a per-goroutine query context from a
 // core.Pool — there is no global query lock, and throughput scales with
-// cores. The batch endpoint answers an entire sources x targets matrix in
-// one request; with a CH index it runs the bucket many-to-many algorithm
-// (one search per endpoint instead of |S| x |T| point-to-point queries).
+// cores.
+//
+// Batch acceleration: the batch endpoints answer an entire sources x
+// targets matrix in one request, and the distance matrix is computed with
+// the best per-technique accelerator (see core.Pool.BatchDistance): CH runs
+// the bucket many-to-many algorithm (one search per endpoint), TNR one
+// table-lookup sweep with per-endpoint access-node operands hoisted, SILC
+// target-wise walks with shared path-suffix memoization; every other
+// technique answers the pairs point-to-point on a pooled searcher. Batch
+// route answers are always computed per pair so they are path-identical to
+// sequential /v1/route calls.
+//
+// Cancellation: every handler propagates r.Context() into the query, and
+// every technique's search loop polls it at bounded intervals (see the
+// core.Searcher cancellation contract), so a client that disconnects or
+// times out stops burning server CPU within a bounded number of search
+// steps — even mid-way through a long fallback search or a large batch
+// matrix. An aborted request is answered with 499 (client closed request)
+// or 503 (deadline exceeded); a disconnected client never reads it, but
+// tests and proxies do.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -31,14 +51,24 @@ import (
 	"roadnet/internal/graph"
 )
 
-// maxBatchPairs bounds the sources x targets matrix size of one batch
-// request, and maxBatchBody the request body itself (a maximal legitimate
-// batch — one list of 2^20 ten-digit ids — is ~12 MB), so a single request
-// cannot monopolize the server.
+// DefaultMaxBatchPairs bounds the sources x targets matrix size of one
+// batch request, and DefaultMaxBatchBody the request body itself (a maximal
+// legitimate batch — one list of 2^20 ten-digit ids — is ~12 MB), so a
+// single request cannot monopolize the server. Batch route gets a much
+// lower pair cap, DefaultMaxBatchRoutePairs: a distance cell is 8 bytes
+// but a route cell is a full O(path-length) vertex list, so a
+// distance-sized route matrix could materialize gigabytes of paths before
+// the response is written. Override with WithBatchLimits.
 const (
-	maxBatchPairs = 1 << 20
-	maxBatchBody  = 16 << 20
+	DefaultMaxBatchPairs      = 1 << 20
+	DefaultMaxBatchRoutePairs = 1 << 14
+	DefaultMaxBatchBody       = 16 << 20
 )
+
+// statusClientClosedRequest is nginx's non-standard status for a request
+// aborted because the client went away; no client reads it, but it keeps
+// access logs and tests honest about why the query was cut short.
+const statusClientClosedRequest = 499
 
 // Server serves queries over one graph and one index.
 type Server struct {
@@ -46,18 +76,70 @@ type Server struct {
 	idx     core.Index
 	pool    *core.Pool
 	locator *graph.Locator
+
+	maxBatchPairs      int
+	maxBatchRoutePairs int
+	maxBatchBody       int64
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithPool serves queries from a caller-built searcher pool — typically a
+// bounded and/or pre-warmed one (see core.NewPool) — instead of the default
+// unbounded pool. The pool must wrap the same index the server is given.
+func WithPool(pool *core.Pool) Option {
+	return func(s *Server) { s.pool = pool }
+}
+
+// WithBatchLimits overrides the batch guards: maxPairs bounds each id list
+// and the sources x targets product, maxBody the request body size in
+// bytes. Values <= 0 keep the corresponding default. The batch route pair
+// cap stays at min(maxPairs, DefaultMaxBatchRoutePairs); raise it with
+// WithBatchRouteLimit.
+func WithBatchLimits(maxPairs int, maxBody int64) Option {
+	return func(s *Server) {
+		if maxPairs > 0 {
+			s.maxBatchPairs = maxPairs
+		}
+		if maxBody > 0 {
+			s.maxBatchBody = maxBody
+		}
+	}
+}
+
+// WithBatchRouteLimit overrides the batch route pair cap. Values <= 0 keep
+// the default; the cap never exceeds the distance-matrix pair limit.
+func WithBatchRouteLimit(maxPairs int) Option {
+	return func(s *Server) {
+		if maxPairs > 0 {
+			s.maxBatchRoutePairs = maxPairs
+		}
+	}
 }
 
 // New returns a server for the given graph and index. The index is shared;
-// all per-query state comes from an internal searcher pool, so the handler
-// serves any number of requests concurrently.
-func New(g *graph.Graph, idx core.Index) *Server {
-	return &Server{
-		g:       g,
-		idx:     idx,
-		pool:    core.NewPool(idx),
-		locator: graph.NewLocator(g, 0),
+// all per-query state comes from a searcher pool, so the handler serves any
+// number of requests concurrently.
+func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
+	s := &Server{
+		g:                  g,
+		idx:                idx,
+		locator:            graph.NewLocator(g, 0),
+		maxBatchPairs:      DefaultMaxBatchPairs,
+		maxBatchRoutePairs: DefaultMaxBatchRoutePairs,
+		maxBatchBody:       DefaultMaxBatchBody,
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.maxBatchRoutePairs > s.maxBatchPairs {
+		s.maxBatchRoutePairs = s.maxBatchPairs
+	}
+	if s.pool == nil {
+		s.pool = core.NewPool(idx)
+	}
+	return s
 }
 
 // Handler returns the HTTP handler with all routes registered.
@@ -68,6 +150,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/nearest", s.handleNearest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/batch/distance", s.handleBatchDistance)
+	mux.HandleFunc("POST /v1/batch/route", s.handleBatchRoute)
 	return mux
 }
 
@@ -79,6 +162,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeAborted reports a query cut short by its context: 503 for a served
+// deadline, 499 for a client that went away.
+func writeAborted(w http.ResponseWriter, err error) {
+	status := statusClientClosedRequest
+	if errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{"query aborted: " + err.Error()})
 }
 
 func (s *Server) vertexParam(r *http.Request, name string) (graph.VertexID, error) {
@@ -114,7 +207,11 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	d := s.pool.Distance(from, to)
+	d, err := s.pool.DistanceContext(r.Context(), from, to)
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
 	resp := distanceResponse{From: from, To: to, Reachable: d < graph.Infinity}
 	if resp.Reachable {
 		resp.Distance = d
@@ -142,7 +239,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	path, d := s.pool.ShortestPath(from, to)
+	path, d, err := s.pool.ShortestPathContext(r.Context(), from, to)
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
 	resp := routeResponse{From: from, To: to, Reachable: path != nil}
 	if path != nil {
 		resp.Distance = d
@@ -156,9 +257,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// batchDistanceRequest asks for the full distance matrix between Sources
-// and Targets.
-type batchDistanceRequest struct {
+// batchRequest asks for all pairs of Sources x Targets; both batch
+// endpoints share the shape.
+type batchRequest struct {
 	Sources []int64 `json:"sources"`
 	Targets []int64 `json:"targets"`
 }
@@ -184,71 +285,119 @@ func (s *Server) vertexList(name string, raw []int64) ([]graph.VertexID, error) 
 	return out, nil
 }
 
-// handleBatchDistance answers a sources x targets distance matrix in one
-// request. With a CH index the bucket many-to-many algorithm of Knopp et
-// al. amortizes the work to one upward search per endpoint; other methods
-// answer the pairs point-to-point on a pooled searcher.
-func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
-	var req batchDistanceRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+// decodeBatch parses and validates a batch request body against the
+// endpoint's pair limit, writing the error response itself on failure.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request, maxPairs int) (sources, targets []graph.VertexID, ok bool) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBatchBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
-		return
+		return nil, nil, false
 	}
 	// Cap each list as well as the product: a huge list paired with an
 	// empty one has product zero but would still burn CPU in validation.
 	// The product is taken in int64 so it cannot wrap on 32-bit platforms.
-	if len(req.Sources) > maxBatchPairs || len(req.Targets) > maxBatchPairs ||
-		int64(len(req.Sources))*int64(len(req.Targets)) > maxBatchPairs {
+	if len(req.Sources) > maxPairs || len(req.Targets) > maxPairs ||
+		int64(len(req.Sources))*int64(len(req.Targets)) > int64(maxPairs) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
 			"batch of %d x %d pairs exceeds the %d-pair limit",
-			len(req.Sources), len(req.Targets), maxBatchPairs)})
-		return
+			len(req.Sources), len(req.Targets), maxPairs)})
+		return nil, nil, false
 	}
 	sources, err := s.vertexList("sources", req.Sources)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
+		return nil, nil, false
 	}
-	targets, err := s.vertexList("targets", req.Targets)
+	targets, err = s.vertexList("targets", req.Targets)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return nil, nil, false
+	}
+	return sources, targets, true
+}
+
+// handleBatchDistance answers a sources x targets distance matrix in one
+// request, dispatching to the index's batch accelerator (CH bucket
+// many-to-many, TNR table sweep, SILC shared-prefix walks, or pooled
+// point-to-point; see core.Pool.BatchDistance).
+func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
+	sources, targets, ok := s.decodeBatch(w, r, s.maxBatchPairs)
+	if !ok {
 		return
 	}
-
-	var table [][]int64
-	if h := core.HierarchyOf(s.idx); h != nil && len(sources) > 1 && len(targets) > 1 {
-		// ManyToMany allocates its own search state per call, so it is safe
-		// to run concurrently over the shared hierarchy.
-		table = h.ManyToMany(sources, targets)
-		for _, row := range table {
-			for j, d := range row {
-				if d >= graph.Infinity {
-					row[j] = -1
-				}
+	table, err := s.pool.BatchDistance(r.Context(), sources, targets)
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	for _, row := range table {
+		for j, d := range row {
+			if d >= graph.Infinity {
+				row[j] = -1
 			}
 		}
-	} else {
-		sr := s.pool.Get()
-		table = make([][]int64, len(sources))
-		for i, src := range sources {
-			row := make([]int64, len(targets))
-			for j, tgt := range targets {
-				if d := sr.Distance(src, tgt); d < graph.Infinity {
-					row[j] = d
-				} else {
-					row[j] = -1
-				}
-			}
-			table[i] = row
-		}
-		s.pool.Put(sr)
 	}
 	writeJSON(w, http.StatusOK, batchDistanceResponse{
 		Sources:   sources,
 		Targets:   targets,
 		Distances: table,
+	})
+}
+
+// batchRouteEntry is one cell of the batch route matrix.
+type batchRouteEntry struct {
+	Reachable bool             `json:"reachable"`
+	Distance  int64            `json:"distance,omitempty"`
+	Vertices  []graph.VertexID `json:"vertices,omitempty"`
+}
+
+// batchRouteResponse carries the path matrix: Routes[i][j] is the shortest
+// path from Sources[i] to Targets[j].
+type batchRouteResponse struct {
+	Sources []graph.VertexID    `json:"sources"`
+	Targets []graph.VertexID    `json:"targets"`
+	Routes  [][]batchRouteEntry `json:"routes"`
+}
+
+// handleBatchRoute answers a sources x targets matrix of full shortest
+// paths in one request, under the same guards as batch distance but a
+// lower pair cap (route cells carry whole paths, not one int64). Paths are
+// computed per pair on one pooled searcher, so every cell is identical to
+// the corresponding sequential /v1/route answer; the request context is
+// polled inside every path query, aborting the batch mid-flight when the
+// client goes away.
+func (s *Server) handleBatchRoute(w http.ResponseWriter, r *http.Request) {
+	sources, targets, ok := s.decodeBatch(w, r, s.maxBatchRoutePairs)
+	if !ok {
+		return
+	}
+	sr, err := s.pool.GetContext(r.Context())
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	defer s.pool.Put(sr)
+	routes := make([][]batchRouteEntry, len(sources))
+	for i, src := range sources {
+		row := make([]batchRouteEntry, len(targets))
+		for j, tgt := range targets {
+			path, d, err := sr.ShortestPathContext(r.Context(), src, tgt)
+			if err != nil {
+				writeAborted(w, err)
+				return
+			}
+			if path != nil {
+				row[j] = batchRouteEntry{Reachable: true, Distance: d, Vertices: path}
+			}
+		}
+		routes[i] = row
+	}
+	writeJSON(w, http.StatusOK, batchRouteResponse{
+		Sources: sources,
+		Targets: targets,
+		Routes:  routes,
 	})
 }
 

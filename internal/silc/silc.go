@@ -15,6 +15,7 @@
 package silc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"roadnet/internal/cancel"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
@@ -356,59 +358,85 @@ func (ix *Index) lookup(cur, target graph.VertexID) uint8 {
 // ShortestPath walks the path from s to t hop by hop (§3.4), returning the
 // vertex sequence and its length, or (nil, Infinity) when unreachable.
 func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	path, d, _ := ix.ShortestPathContext(context.Background(), s, t)
+	return path, d
+}
+
+// ShortestPathContext is ShortestPath with cancellation: the hop-by-hop
+// walk polls ctx every cancel.Interval hops and aborts with its error.
+func (ix *Index) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, graph.Infinity, err
+	}
 	if s == t {
-		return []graph.VertexID{s}, 0
+		return []graph.VertexID{s}, 0, nil
 	}
 	path := []graph.VertexID{s}
 	var total int64
 	cur := s
-	for cur != t {
+	for steps := 0; cur != t; steps++ {
+		if err := cancel.Poll(ctx, steps); err != nil {
+			return nil, graph.Infinity, err
+		}
 		slot := ix.lookup(cur, t)
 		if slot == noHop {
-			return nil, graph.Infinity
+			return nil, graph.Infinity, nil
 		}
 		lo, hi := ix.g.ArcsOf(cur)
 		a := lo + int32(slot)
 		if a >= hi {
-			return nil, graph.Infinity
+			return nil, graph.Infinity, nil
 		}
 		cur = ix.g.Head(a)
 		total += int64(ix.g.ArcWeight(a))
 		path = append(path, cur)
 		if len(path) > ix.g.NumVertices() {
 			// Defensive: a corrupted table would loop forever.
-			return nil, graph.Infinity
+			return nil, graph.Infinity, nil
 		}
 	}
-	return path, total
+	return path, total, nil
 }
 
 // Distance computes the path and returns its length (§3.4: SILC answers a
 // distance query by first computing the shortest path).
 func (ix *Index) Distance(s, t graph.VertexID) int64 {
+	d, _ := ix.DistanceContext(context.Background(), s, t)
+	return d
+}
+
+// DistanceContext is Distance with cancellation: the hop-by-hop walk polls
+// ctx every cancel.Interval hops and aborts with its error.
+func (ix *Index) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return graph.Infinity, err
+	}
 	if s == t {
-		return 0
+		return 0, nil
 	}
 	var total int64
 	cur := s
 	steps := 0
 	for cur != t {
+		if err := cancel.Poll(ctx, steps); err != nil {
+			return graph.Infinity, err
+		}
 		slot := ix.lookup(cur, t)
 		if slot == noHop {
-			return graph.Infinity
+			return graph.Infinity, nil
 		}
 		lo, hi := ix.g.ArcsOf(cur)
 		a := lo + int32(slot)
 		if a >= hi {
-			return graph.Infinity
+			return graph.Infinity, nil
 		}
 		cur = ix.g.Head(a)
 		total += int64(ix.g.ArcWeight(a))
 		if steps++; steps > ix.g.NumVertices() {
-			return graph.Infinity
+			return graph.Infinity, nil
 		}
 	}
-	return total
+	return total, nil
 }
 
 // NumIntervals returns the total number of stored Morton intervals; the

@@ -21,10 +21,12 @@
 package tnr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"roadnet/internal/cancel"
 	"roadnet/internal/ch"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
@@ -282,36 +284,50 @@ func (ix *Index) defSearcher() *Searcher {
 	return ix.def
 }
 
-// fallbackDistance answers a query with the configured fallback technique.
-func (sr *Searcher) fallbackDistance(s, t graph.VertexID) int64 {
+// fallbackDistance answers a query with the configured fallback technique,
+// propagating ctx into the fallback search so long local searches abort
+// when the request is cancelled.
+func (sr *Searcher) fallbackDistance(ctx context.Context, s, t graph.VertexID) (int64, error) {
 	if sr.bi != nil {
-		return sr.bi.Query(s, t).Dist
+		return sr.bi.DistanceContext(ctx, s, t)
 	}
-	return sr.chSearch.Distance(s, t)
+	return sr.chSearch.DistanceContext(ctx, s, t)
 }
 
-func (sr *Searcher) fallbackPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+func (sr *Searcher) fallbackPath(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
 	if sr.bi != nil {
-		return sr.bi.ShortestPath(s, t)
+		return sr.bi.ShortestPathContext(ctx, s, t)
 	}
-	return sr.chSearch.ShortestPath(s, t)
+	return sr.chSearch.ShortestPathContext(ctx, s, t)
 }
 
 // Distance answers a distance query (§3.3): Equation 1 over the coarse
 // tables when the cells are far apart, the fine tables (hybrid mode) for
 // mid-range queries, and the fallback technique otherwise.
 func (sr *Searcher) Distance(s, t graph.VertexID) int64 {
+	d, _ := sr.DistanceContext(context.Background(), s, t)
+	return d
+}
+
+// DistanceContext is Distance with cancellation: an already-cancelled
+// context aborts before any work, table answers then run to completion
+// (O(|AN|²) lookups, bounded), and fallback searches poll ctx at bounded
+// intervals, aborting with its error.
+func (sr *Searcher) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return graph.Infinity, err
+	}
 	ix := sr.ix
 	if ix.coarse.localityPasses(s, t) {
 		sr.TableQueries++
-		return ix.coarse.distance(s, t)
+		return ix.coarse.distance(s, t), nil
 	}
 	if ix.fine != nil && ix.fine.localityPasses(s, t) {
 		sr.TableQueries++
-		return ix.fine.distance(s, t)
+		return ix.fine.distance(s, t), nil
 	}
 	sr.FallbackQueries++
-	return sr.fallbackDistance(s, t)
+	return sr.fallbackDistance(ctx, s, t)
 }
 
 // Distance answers a distance query on the default searcher.
@@ -346,32 +362,49 @@ func (ix *Index) tableDistance(s, t graph.VertexID) int64 {
 // w(cur, v) + dist(v, t) with dist evaluated from the tables (O(k) distance
 // queries); the local remainder is delegated to the fallback technique.
 func (sr *Searcher) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
+	path, d, _ := sr.ShortestPathContext(context.Background(), s, t)
+	return path, d
+}
+
+// ShortestPathContext is ShortestPath with cancellation: the hop-by-hop
+// table walk polls ctx every cancel.Interval hops and the fallback searches
+// poll it every cancel.Interval settled vertices; both abort with ctx's
+// error.
+func (sr *Searcher) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, graph.Infinity, err
+	}
 	ix := sr.ix
 	if !ix.CanAnswerFromTables(s, t) {
 		sr.FallbackQueries++
-		return sr.fallbackPath(s, t)
+		return sr.fallbackPath(ctx, s, t)
 	}
 	sr.TableQueries++
 	total := ix.tableDistance(s, t)
 	if total >= graph.Infinity {
-		return nil, graph.Infinity
+		return nil, graph.Infinity, nil
 	}
 	path := []graph.VertexID{s}
 	cur := s
 	remaining := total
-	for {
+	for steps := 0; ; steps++ {
+		if err := cancel.Poll(ctx, steps); err != nil {
+			return nil, graph.Infinity, err
+		}
 		if !ix.CanAnswerFromTables(cur, t) {
 			// Local remainder: delegate to the fallback technique.
-			tail, tailDist := sr.fallbackPath(cur, t)
+			tail, tailDist, err := sr.fallbackPath(ctx, cur, t)
+			if err != nil {
+				return nil, graph.Infinity, err
+			}
 			if tail == nil || tailDist != remaining {
 				// The tables and the fallback disagree; this cannot happen
 				// with a correct access-node computation, but the flawed
 				// Appendix B variant can reach this point. Trust the
 				// fallback, which is exact.
-				full, d := sr.fallbackPath(s, t)
-				return full, d
+				return sr.fallbackPath(ctx, s, t)
 			}
-			return append(path, tail[1:]...), total
+			return append(path, tail[1:]...), total, nil
 		}
 		// Pick the neighbor on a shortest path to t. Every neighbor is
 		// evaluated with a table distance when possible; if any neighbor
@@ -402,18 +435,20 @@ func (sr *Searcher) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) 
 		})
 		if !found || next < 0 {
 			// Finish with the fallback from cur.
-			tail, tailDist := sr.fallbackPath(cur, t)
-			if tail == nil || tailDist != remaining {
-				full, d := sr.fallbackPath(s, t)
-				return full, d
+			tail, tailDist, err := sr.fallbackPath(ctx, cur, t)
+			if err != nil {
+				return nil, graph.Infinity, err
 			}
-			return append(path, tail[1:]...), total
+			if tail == nil || tailDist != remaining {
+				return sr.fallbackPath(ctx, s, t)
+			}
+			return append(path, tail[1:]...), total, nil
 		}
 		path = append(path, next)
 		remaining -= nextWeight
 		cur = next
 		if cur == t {
-			return path, total
+			return path, total, nil
 		}
 	}
 }

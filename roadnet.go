@@ -42,15 +42,47 @@
 //     reusable across queries with zero steady-state allocations on the
 //     distance hot path.
 //
-//   - NewPool wraps an Index in a sync.Pool of searchers for servers that
-//     spawn a goroutine per request:
+//   - NewPool wraps an Index in a pool of searchers for servers that spawn
+//     a goroutine per request. By default the pool is unbounded (backed by
+//     sync.Pool); WithMaxSearchers caps the number of live searchers, and
+//     Pool.Prewarm builds searchers ahead of the first request burst:
 //
-//     pool := roadnet.NewPool(idx)
+//     pool := roadnet.NewPool(idx, roadnet.WithMaxSearchers(64))
+//     pool.Prewarm(8)
 //     go func() { dist := pool.Distance(42, 4711) }()
 //     go func() { path, dist := pool.ShortestPath(7, 11) }()
+//
+// # Cancellation
+//
+// Every Searcher (and Pool) offers Context variants — DistanceContext and
+// ShortestPathContext — that poll the context at bounded intervals (every
+// 256 settled vertices, path hops, or recursion steps, depending on the
+// technique) and abort with the context's error. The polling reaches every
+// search loop, including the bidirectional-Dijkstra fallback inside TNR,
+// so a cancelled request stops consuming CPU within a bounded number of
+// steps regardless of the serving technique. A query issued on an
+// already-cancelled context aborts before doing any work, and an aborted
+// searcher remains valid for reuse.
+//
+// # Batch queries
+//
+// DistanceMatrix (and Pool.BatchDistance) answer a full sources×targets
+// distance matrix with the best accelerator the index offers. The
+// per-technique acceleration matrix:
+//
+//	CH        bucket many-to-many (Knopp et al.): one upward search per
+//	          endpoint instead of |S|×|T| point-to-point queries
+//	TNR       one table-lookup sweep; each endpoint's access-node set and
+//	          distances are computed once, not once per pair
+//	SILC      target-wise path walks with shared-suffix memoization: hops
+//	          shared by several sources' paths are walked once
+//	others    per-pair queries on one reusable searcher
+//
+// All accelerators return matrices bit-identical to per-pair queries.
 package roadnet
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -110,11 +142,20 @@ type Searcher = core.Searcher
 
 // Pool hands out reusable Searchers over one shared Index so any number
 // of goroutines can query concurrently with zero steady-state allocations
-// on the distance hot path.
+// on the distance hot path. See the package comment for bounding,
+// pre-warming, cancellation and batch acceleration.
 type Pool = core.Pool
 
+// PoolOption configures NewPool.
+type PoolOption = core.PoolOption
+
+// WithMaxSearchers bounds a pool to at most n live searchers (Get blocks
+// when all are checked out), capping the memory spent on per-searcher
+// O(n) arrays on very large graphs.
+func WithMaxSearchers(n int) PoolOption { return core.WithMaxSearchers(n) }
+
 // NewPool returns a searcher pool over idx.
-func NewPool(idx Index) *Pool { return core.NewPool(idx) }
+func NewPool(idx Index, opts ...PoolOption) *Pool { return core.NewPool(idx, opts...) }
 
 // Stats reports an index's preprocessing time and memory footprint.
 type Stats = core.Stats
@@ -185,24 +226,21 @@ func WriteDIMACS(gr, co io.Writer, g *Graph) error {
 	return graph.WriteCO(co, g)
 }
 
-// DistanceMatrix computes all source-target distances. With a CH index it
-// runs the bucket many-to-many algorithm (one search per endpoint instead
-// of |sources| x |targets| point-to-point queries — the same accelerator
-// the paper uses inside TNR preprocessing); other indexes fall back to
-// repeated distance queries. Unreachable pairs hold Infinity.
+// DistanceMatrix computes all source-target distances with the best
+// accelerator the index offers (see the package comment's acceleration
+// matrix: CH bucket many-to-many, TNR table sweep, SILC shared-prefix
+// walks, per-pair queries otherwise). Unreachable pairs hold Infinity.
 func DistanceMatrix(idx Index, sources, targets []VertexID) [][]int64 {
-	if h := core.HierarchyOf(idx); h != nil {
-		return h.ManyToMany(sources, targets)
-	}
-	table := make([][]int64, len(sources))
-	for i, s := range sources {
-		row := make([]int64, len(targets))
-		for j, t := range targets {
-			row[j] = idx.Distance(s, t)
-		}
-		table[i] = row
-	}
+	table, _ := DistanceMatrixContext(context.Background(), idx, sources, targets)
 	return table
+}
+
+// DistanceMatrixContext is DistanceMatrix with cancellation: all
+// accelerators poll ctx at bounded intervals, and on cancellation the
+// partial matrix is discarded and ctx's error returned. Dispatch lives in
+// Pool.BatchDistance, the one copy of the per-technique batch policy.
+func DistanceMatrixContext(ctx context.Context, idx Index, sources, targets []VertexID) ([][]int64, error) {
+	return core.NewPool(idx).BatchDistance(ctx, sources, targets)
 }
 
 // Neighbor is one result of a NearestK query.
