@@ -22,7 +22,10 @@
 //     ratio (serialized / parallel — the multi-core speedup of the pooled
 //     server) must not fall below the baseline ratio by more than the
 //     threshold. The ratio is machine-independent, so this guards the
-//     concurrency win even across runner changes.
+//     concurrency win even across runner changes. The same rule applies to
+//     BenchmarkIndexLoadHeap / BenchmarkIndexLoadMmap (load_speedup): mmap
+//     loads must stay an order of magnitude cheaper than heap loads, or the
+//     zero-copy path has regressed into copying.
 //
 // Use benchstat alongside for the human-readable comparison table; this
 // tool only decides pass/fail.
@@ -51,6 +54,12 @@ const (
 	serializedBench = "BenchmarkServerThroughputSerialized"
 )
 
+// The benchmark pair whose ratio gates the zero-copy load path.
+const (
+	heapLoadBench = "BenchmarkIndexLoadHeap"
+	mmapLoadBench = "BenchmarkIndexLoadMmap"
+)
+
 // baseline is the committed reference file.
 type baseline struct {
 	Note       string             `json:"note,omitempty"`
@@ -58,6 +67,9 @@ type baseline struct {
 	// ParallelSpeedup is serialized/parallel median ns/op at the recorded
 	// CPU count — the multi-core win of the searcher-pool server.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// LoadSpeedup is heap/mmap median index-load ns/op — the zero-copy win
+	// of mmap'd flat files over heap loads of the same file.
+	LoadSpeedup float64 `json:"load_speedup,omitempty"`
 }
 
 func main() {
@@ -78,9 +90,10 @@ func main() {
 		medians[name] = median(ns)
 	}
 	speedup := speedupOf(medians)
+	loadSpeedup := ratioOf(medians, heapLoadBench, mmapLoadBench)
 
 	if *update {
-		if err := writeBaseline(*baselinePath, medians, speedup); err != nil {
+		if err := writeBaseline(*baselinePath, medians, speedup, loadSpeedup); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchcheck: wrote %s with %d benchmarks\n", *baselinePath, len(medians))
@@ -91,7 +104,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(base, medians, speedup, *threshold)
+	failures := compare(base, medians, speedup, loadSpeedup, *threshold)
 	names := make([]string, 0, len(medians))
 	for name := range medians {
 		names = append(names, name)
@@ -109,6 +122,9 @@ func main() {
 	if speedup > 0 {
 		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "parallel speedup (serialized/parallel)", speedup, base.ParallelSpeedup)
 	}
+	if loadSpeedup > 0 {
+		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "load speedup (heap/mmap)", loadSpeedup, base.LoadSpeedup)
+	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL")
 		for _, f := range failures {
@@ -120,7 +136,7 @@ func main() {
 }
 
 // compare returns one message per gate violation.
-func compare(base *baseline, medians map[string]float64, speedup, threshold float64) []string {
+func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, threshold float64) []string {
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -144,6 +160,11 @@ func compare(base *baseline, medians map[string]float64, speedup, threshold floa
 			"parallel speedup %.2fx fell more than %.0f%% below baseline %.2fx — the pooled server lost its multi-core scaling",
 			speedup, 100*threshold, base.ParallelSpeedup))
 	}
+	if base.LoadSpeedup > 0 && loadSpeedup > 0 && loadSpeedup < base.LoadSpeedup*(1-threshold) {
+		failures = append(failures, fmt.Sprintf(
+			"load speedup %.2fx fell more than %.0f%% below baseline %.2fx — the mmap load path lost its zero-copy advantage",
+			loadSpeedup, 100*threshold, base.LoadSpeedup))
+	}
 	return failures
 }
 
@@ -165,6 +186,32 @@ func speedupOf(medians map[string]float64) float64 {
 		if cpu > bestCPU {
 			bestCPU = cpu
 			best = ser / par
+		}
+	}
+	return best
+}
+
+// ratioOf derives numer/denom median ns/op for a benchmark pair (at any
+// -cpu suffix, matched per suffix), preferring the highest CPU count.
+func ratioOf(medians map[string]float64, numer, denom string) float64 {
+	best := 0.0
+	bestCPU := -1
+	for name, down := range medians {
+		prefix, cpu := splitCPU(name)
+		if prefix != denom || down <= 0 {
+			continue
+		}
+		upName := numer
+		if cpu > 1 {
+			upName = fmt.Sprintf("%s-%d", numer, cpu)
+		}
+		up, ok := medians[upName]
+		if !ok {
+			continue
+		}
+		if cpu > bestCPU {
+			bestCPU = cpu
+			best = up / down
 		}
 	}
 	return best
@@ -248,15 +295,17 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func writeBaseline(path string, medians map[string]float64, speedup float64) error {
+func writeBaseline(path string, medians map[string]float64, speedup, loadSpeedup float64) error {
 	b := baseline{
 		Note: "Median ns/op per benchmark from `go test -bench -cpu 4 -count 5`, " +
 			"compared by cmd/benchcheck with a fractional threshold. Absolute numbers are " +
 			"machine-specific: refresh with `go run ./cmd/benchcheck -update` output when the " +
 			"CI runner class changes. parallel_speedup (serialized/parallel server throughput) " +
-			"is machine-independent and guards the multi-core scaling of the searcher pool.",
+			"and load_speedup (heap/mmap index load) are machine-independent ratios guarding " +
+			"the multi-core scaling of the searcher pool and the zero-copy mmap load path.",
 		Benchmarks:      medians,
 		ParallelSpeedup: speedup,
+		LoadSpeedup:     loadSpeedup,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"roadnet"
 	"roadnet/internal/exp"
 	"roadnet/internal/gen"
 )
@@ -31,6 +32,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		maxMB    = flag.Int64("maxmem", 1536, "index memory ceiling in MB (the paper's analogue is 24 GB)")
 		grid     = flag.Int("grid", 32, "TNR coarse grid size (the paper's analogue of 128)")
+		cacheDir = flag.String("cachedir", "", "persist built CH/TNR/SILC indexes here and reuse them across runs")
+		useMmap  = flag.Bool("mmap", roadnet.MmapSupported, "mmap cached index files instead of reading them onto the heap")
 	)
 	flag.Parse()
 
@@ -46,6 +49,8 @@ func main() {
 		Seed:          *seed,
 		MaxIndexBytes: *maxMB << 20,
 		TNRGridSize:   *grid,
+		CacheDir:      *cacheDir,
+		CacheMmap:     *useMmap,
 	}
 	switch {
 	case *datasets != "":

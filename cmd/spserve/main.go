@@ -7,7 +7,13 @@
 //	spserve -gr map.gr -co map.co -method tnr -index tnr.idx
 //
 // With -index, the index is loaded from the file when it exists and
-// otherwise built and saved to it (preprocess once, serve forever).
+// otherwise built and saved to it (preprocess once, serve forever). Index
+// files in the flat v2 format are mmap'd by default on supported platforms
+// (-mmap=false forces heap loads): startup is O(#sections) regardless of
+// index size and the resident index memory is page cache shared across
+// processes. -graph likewise caches the parsed network in binary form, so
+// restarts skip DIMACS text parsing. Every load logs its mode (mmap /
+// heap), duration and byte count.
 //
 // Queries are served concurrently: the index data is shared read-only
 // across all request goroutines and each request draws a per-goroutine
@@ -52,20 +58,22 @@ func main() {
 		coPath    = flag.String("co", "", "DIMACS .co file")
 		method    = flag.String("method", "ch", "technique: dijkstra, ch, tnr, silc, pcpd, alt, arcflags")
 		indexPath = flag.String("index", "", "index file: load if present, else build and save (ch/tnr/silc)")
+		graphPath = flag.String("graph", "", "binary graph file: load if present, else parse -preset/-gr/-co and save")
+		useMmap   = flag.Bool("mmap", roadnet.MmapSupported, "mmap flat index/graph files instead of reading them onto the heap")
 		addr      = flag.String("addr", ":8080", "listen address")
 		poolMax   = flag.Int("pool-max", 0, "cap on live searchers (0 = unbounded); requests block when all are busy")
 		prewarm   = flag.Int("prewarm", runtime.GOMAXPROCS(0), "searchers to build before serving, so the first burst pays no allocations (guaranteed to stay warm only with -pool-max; unbounded pools may drop idle searchers at GC)")
 	)
 	flag.Parse()
 
-	g, err := load(*preset, *grPath, *coPath)
+	g, err := loadGraph(*preset, *grPath, *coPath, *graphPath, *useMmap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath)
+	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -94,15 +102,15 @@ func main() {
 	}
 }
 
-func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string) (core.Index, error) {
+func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool) (core.Index, error) {
 	if indexPath != "" {
-		if f, err := os.Open(indexPath); err == nil {
-			defer f.Close()
-			idx, err := roadnet.LoadIndex(method, f, g)
+		if _, err := os.Stat(indexPath); err == nil {
+			idx, info, err := roadnet.LoadIndexFile(method, indexPath, g, useMmap)
 			if err != nil {
 				return nil, fmt.Errorf("loading %s: %w", indexPath, err)
 			}
-			fmt.Printf("loaded index from %s\n", indexPath)
+			fmt.Printf("load: index %s via %s in %v (%d KB on disk)\n",
+				indexPath, info.Mode(), info.LoadTime.Round(time.Microsecond), info.SizeBytes/1024)
 			return idx, nil
 		}
 	}
@@ -124,7 +132,44 @@ func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string) (cor
 	return idx, nil
 }
 
-func load(preset, grPath, coPath string) (*roadnet.Graph, error) {
+// loadGraph resolves the network: the binary graph cache when present
+// (mmap'd flat CSR, skipping DIMACS text parsing), otherwise the preset or
+// DIMACS source — saved back to the cache when -graph is set.
+func loadGraph(preset, grPath, coPath, graphPath string, useMmap bool) (*roadnet.Graph, error) {
+	if graphPath != "" {
+		if _, err := os.Stat(graphPath); err == nil {
+			start := time.Now()
+			g, err := roadnet.LoadGraphFile(graphPath, useMmap)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", graphPath, err)
+			}
+			mode := "heap"
+			if g.Mapped() {
+				mode = "mmap"
+			}
+			fmt.Printf("load: graph %s via %s in %v\n", graphPath, mode, time.Since(start).Round(time.Microsecond))
+			return g, nil
+		}
+	}
+	g, err := parseGraph(preset, grPath, coPath)
+	if err != nil {
+		return nil, err
+	}
+	if graphPath != "" {
+		f, err := os.Create(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := roadnet.SaveGraph(f, g); err != nil {
+			return nil, fmt.Errorf("saving %s: %w", graphPath, err)
+		}
+		fmt.Printf("saved graph to %s\n", graphPath)
+	}
+	return g, nil
+}
+
+func parseGraph(preset, grPath, coPath string) (*roadnet.Graph, error) {
 	if preset != "" {
 		return roadnet.GeneratePreset(preset)
 	}

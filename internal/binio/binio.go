@@ -12,6 +12,7 @@ package binio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -19,6 +20,12 @@ import (
 // maxSliceLen caps decoded slice lengths as a corruption guard (1 << 31
 // elements would be far beyond any index this library builds).
 const maxSliceLen = 1 << 31
+
+// ErrCorrupt tags decoding failures caused by corrupt (or hostile) input:
+// implausible length prefixes, truncated sections, reads past a declared
+// size. Callers can errors.Is against it to distinguish bad files from IO
+// failures.
+var ErrCorrupt = errors.New("binio: corrupt data")
 
 // Writer wraps a buffered writer with sticky error handling: after the
 // first failure every Write* call is a no-op and Flush reports the error.
@@ -69,6 +76,12 @@ func (w *Writer) I32(v int32) {
 	w.write(w.buf[:4])
 }
 
+// U32 writes a uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
 // I32Slice writes a length-prefixed []int32.
 func (w *Writer) I32Slice(s []int32) {
 	w.I64(int64(len(s)))
@@ -94,16 +107,29 @@ func (w *Writer) U8Slice(s []uint8) {
 // Err returns the sticky error.
 func (w *Writer) Err() error { return w.err }
 
-// Reader wraps a buffered reader with sticky error handling.
+// Reader wraps a buffered reader with sticky error handling. A Reader may
+// be bounded (NewReaderLimit) by the number of bytes known to remain in
+// the input; bounded readers reject length prefixes that would decode past
+// the end of the input before allocating anything.
 type Reader struct {
 	r   *bufio.Reader
 	err error
 	buf [8]byte
+	// remaining is the byte budget of a bounded reader, -1 when unbounded.
+	remaining int64
 }
 
-// NewReader returns a Reader on r.
+// NewReader returns an unbounded Reader on r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16), remaining: -1}
+}
+
+// NewReaderLimit returns a Reader on r that treats size as the number of
+// bytes available: corrupt or hostile length prefixes exceeding it fail
+// with an error wrapping ErrCorrupt instead of attempting the allocation.
+// Callers loading from a file should pass the file size.
+func NewReaderLimit(r io.Reader, size int64) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16), remaining: size}
 }
 
 // Err returns the sticky error.
@@ -112,6 +138,14 @@ func (r *Reader) Err() error { return r.err }
 func (r *Reader) read(p []byte) {
 	if r.err != nil {
 		return
+	}
+	if r.remaining >= 0 {
+		if int64(len(p)) > r.remaining {
+			r.err = fmt.Errorf("%w: read of %d bytes exceeds the %d remaining in the input",
+				ErrCorrupt, len(p), r.remaining)
+			return
+		}
+		r.remaining -= int64(len(p))
 	}
 	_, r.err = io.ReadFull(r.r, p)
 }
@@ -143,13 +177,22 @@ func (r *Reader) I32() int32 {
 	return int32(binary.LittleEndian.Uint32(r.buf[:4]))
 }
 
-func (r *Reader) sliceLen() int {
+// sliceLen decodes and validates a length prefix for a slice of elemSize-
+// byte elements. Negative or absurd lengths — and, on bounded readers,
+// lengths whose payload exceeds the remaining input — fail with an error
+// wrapping ErrCorrupt before any allocation is attempted.
+func (r *Reader) sliceLen(elemSize int64) int {
 	n := r.I64()
-	if r.err == nil && (n < 0 || n > maxSliceLen) {
-		r.err = fmt.Errorf("binio: implausible slice length %d", n)
+	if r.err != nil {
 		return 0
 	}
-	if r.err != nil {
+	if n < 0 || n > maxSliceLen {
+		r.err = fmt.Errorf("%w: implausible slice length %d", ErrCorrupt, n)
+		return 0
+	}
+	if r.remaining >= 0 && n*elemSize > r.remaining {
+		r.err = fmt.Errorf("%w: implausible slice length %d (%d bytes, but only %d remain in the input)",
+			ErrCorrupt, n, n*elemSize, r.remaining)
 		return 0
 	}
 	return int(n)
@@ -157,7 +200,7 @@ func (r *Reader) sliceLen() int {
 
 // I32Slice reads a length-prefixed []int32.
 func (r *Reader) I32Slice() []int32 {
-	n := r.sliceLen()
+	n := r.sliceLen(4)
 	s := make([]int32, n)
 	for i := range s {
 		s[i] = r.I32()
@@ -170,7 +213,7 @@ func (r *Reader) I32Slice() []int32 {
 
 // U32Slice reads a length-prefixed []uint32.
 func (r *Reader) U32Slice() []uint32 {
-	n := r.sliceLen()
+	n := r.sliceLen(4)
 	s := make([]uint32, n)
 	for i := range s {
 		s[i] = uint32(r.I32())
@@ -183,7 +226,7 @@ func (r *Reader) U32Slice() []uint32 {
 
 // U8Slice reads a length-prefixed []uint8.
 func (r *Reader) U8Slice() []uint8 {
-	n := r.sliceLen()
+	n := r.sliceLen(1)
 	s := make([]uint8, n)
 	r.read(s)
 	if r.err != nil {

@@ -1,0 +1,513 @@
+// Flat v2 container: the zero-copy on-disk format shared by every index
+// serializer in this repository.
+//
+// A flat file is a section table plus a small metadata blob. Every large
+// array (CSR adjacency, CH shortcut lists, TNR distance tables, SILC color
+// maps) is stored as one section: a 64-byte-aligned, little-endian run of
+// fixed-size elements. A loader can therefore mmap the file and cast each
+// section in place — startup is O(#sections), resident memory is shared
+// page cache, and indexes larger than RAM serve gracefully. Scalars, small
+// tables and options travel in the metadata blob, encoded with the v1
+// Writer/Reader primitives.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "RNFLAT2\n"
+//	8       4     fourcc — the owning index type ("CH  ", "TNR ", ...)
+//	12      4     container version (currently 2)
+//	16      4     section count
+//	20      4     flags (reserved, 0)
+//	24      8     meta blob offset
+//	32      8     meta blob length in bytes
+//	40      24×N  section table: {kind u32, pad u32, offset u64, bytes u64}
+//	...           meta blob
+//	...           sections, each padded to a 64-byte boundary
+//
+// Section offsets are relative to the start of the container, so a flat
+// file may be nested inside a U8 section of another flat file (TNR embeds
+// its contraction hierarchy this way); because sections are 64-byte
+// aligned, nesting preserves alignment and the nested file can still be
+// cast in place.
+//
+// The cast fast path requires a little-endian host and aligned data; on
+// big-endian hosts or unaligned buffers the section accessors transparently
+// fall back to a decoding copy, so the format is portable even where
+// zero-copy is not possible. See docs/FORMAT.md for the full specification.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// FlatMagic identifies a flat v2 container.
+const FlatMagic = "RNFLAT2\n"
+
+// FlatVersion is the container version this package reads and writes.
+const FlatVersion = 2
+
+// flatAlign is the section alignment; 64 bytes keeps every section start
+// on a cache-line (and, via mmap's page alignment, word-aligned for casts).
+const flatAlign = 64
+
+// flatHeaderSize is the fixed part of the header before the section table.
+const flatHeaderSize = 40
+
+// flatEntrySize is one section-table entry.
+const flatEntrySize = 24
+
+// SectionKind tags the element type of a section.
+type SectionKind uint32
+
+// The section kinds.
+const (
+	SectionU8  SectionKind = 1
+	SectionI32 SectionKind = 2
+	SectionU32 SectionKind = 3
+	SectionI64 SectionKind = 4
+)
+
+func (k SectionKind) String() string {
+	switch k {
+	case SectionU8:
+		return "u8"
+	case SectionI32:
+		return "i32"
+	case SectionU32:
+		return "u32"
+	case SectionI64:
+		return "i64"
+	default:
+		return fmt.Sprintf("kind(%d)", uint32(k))
+	}
+}
+
+func (k SectionKind) elemSize() int64 {
+	switch k {
+	case SectionU8:
+		return 1
+	case SectionI32, SectionU32:
+		return 4
+	case SectionI64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// ErrNotFlat reports that a byte stream is not a flat v2 container (it may
+// be a v1 length-prefixed stream); callers use it to dispatch between the
+// two load paths.
+var ErrNotFlat = errors.New("binio: not a flat v2 container")
+
+// ErrVersion reports a flat container whose version this reader does not
+// support.
+var ErrVersion = errors.New("binio: unsupported flat container version")
+
+// hostLittleEndian reports whether in-place casts produce little-endian
+// semantics on this machine.
+var hostLittleEndian = func() bool {
+	var b [2]byte
+	binary.NativeEndian.PutUint16(b[:], 1)
+	return b[0] == 1
+}()
+
+// FlatWriter accumulates sections and a metadata blob and writes them as
+// one flat container. Sections are written in the order they are added and
+// are addressed by that index on the read side.
+type FlatWriter struct {
+	fourcc   uint32
+	meta     *Writer
+	metaBuf  sliceWriter
+	sections []flatSection
+}
+
+type flatSection struct {
+	kind SectionKind
+	data []byte // little-endian payload (may alias the caller's slice)
+}
+
+// sliceWriter is a minimal in-memory io.Writer (bytes.Buffer without the
+// import, so binio keeps its tiny dependency surface).
+type sliceWriter struct{ b []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// NewFlatWriter returns a FlatWriter for a container tagged with fourcc.
+func NewFlatWriter(fourcc uint32) *FlatWriter {
+	fw := &FlatWriter{fourcc: fourcc}
+	fw.meta = NewWriter(&fw.metaBuf)
+	return fw
+}
+
+// Meta returns the writer for the metadata blob: scalars, options and
+// small tables that do not warrant a section of their own.
+func (fw *FlatWriter) Meta() *Writer { return fw.meta }
+
+// U8Section adds s as a byte section and returns its index.
+func (fw *FlatWriter) U8Section(s []uint8) int { return fw.add(SectionU8, s) }
+
+// I32Section adds s as an int32 section and returns its index.
+func (fw *FlatWriter) I32Section(s []int32) int {
+	return fw.add(SectionI32, i32LEBytes(s))
+}
+
+// U32Section adds s as a uint32 section and returns its index.
+func (fw *FlatWriter) U32Section(s []uint32) int {
+	return fw.add(SectionU32, i32LEBytes(u32AsI32(s)))
+}
+
+// I64Section adds s as an int64 section and returns its index.
+func (fw *FlatWriter) I64Section(s []int64) int {
+	return fw.add(SectionI64, i64LEBytes(s))
+}
+
+func (fw *FlatWriter) add(kind SectionKind, data []byte) int {
+	fw.sections = append(fw.sections, flatSection{kind: kind, data: data})
+	return len(fw.sections) - 1
+}
+
+// WriteTo writes the container. The FlatWriter must not be reused after.
+func (fw *FlatWriter) WriteTo(w io.Writer) (int64, error) {
+	if err := fw.meta.Flush(); err != nil {
+		return 0, err
+	}
+	meta := fw.metaBuf.b
+
+	tableEnd := int64(flatHeaderSize + flatEntrySize*len(fw.sections))
+	metaOff := tableEnd
+	cursor := align64(metaOff + int64(len(meta)))
+	offsets := make([]int64, len(fw.sections))
+	for i, s := range fw.sections {
+		offsets[i] = cursor
+		cursor = align64(cursor + int64(len(s.data)))
+	}
+
+	bw := NewWriter(w)
+	bw.Magic(FlatMagic)
+	bw.U32(fw.fourcc)
+	bw.U32(FlatVersion)
+	bw.U32(uint32(len(fw.sections)))
+	bw.U32(0) // flags
+	bw.I64(metaOff)
+	bw.I64(int64(len(meta)))
+	for i, s := range fw.sections {
+		bw.U32(uint32(s.kind))
+		bw.U32(0)
+		bw.I64(offsets[i])
+		bw.I64(int64(len(s.data)))
+	}
+	written := tableEnd
+	bw.write(meta)
+	written += int64(len(meta))
+	var pad [flatAlign]byte
+	for i, s := range fw.sections {
+		bw.write(pad[:offsets[i]-written])
+		bw.write(s.data)
+		written = offsets[i] + int64(len(s.data))
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return written, nil
+}
+
+func align64(off int64) int64 {
+	return (off + flatAlign - 1) &^ (flatAlign - 1)
+}
+
+// FlatFile is a parsed flat container. When backed by an mmap'd (or
+// otherwise aligned little-endian) buffer, section accessors cast in place
+// and the returned slices alias the buffer: they are valid only until
+// Close and must be treated as immutable.
+type FlatFile struct {
+	data     []byte
+	fourcc   uint32
+	meta     []byte
+	secs     []parsedSection
+	zeroCopy bool         // sections may alias data
+	unmap    func() error // non-nil when Close must release an mmap
+}
+
+type parsedSection struct {
+	kind SectionKind
+	data []byte
+}
+
+// IsFlat reports whether b begins with the flat container magic.
+func IsFlat(b []byte) bool {
+	return len(b) >= len(FlatMagic) && string(b[:len(FlatMagic)]) == FlatMagic
+}
+
+// ParseFlat parses a flat container held in data. When zeroCopy is true
+// (data is mmap'd or otherwise long-lived), section accessors cast in
+// place where alignment and host endianness allow; otherwise they copy.
+// The returned FlatFile keeps a reference to data either way.
+func ParseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
+	if !IsFlat(data) {
+		return nil, ErrNotFlat
+	}
+	if len(data) < flatHeaderSize {
+		return nil, fmt.Errorf("%w: flat header truncated at %d bytes", ErrCorrupt, len(data))
+	}
+	le := binary.LittleEndian
+	f := &FlatFile{data: data, zeroCopy: zeroCopy && hostLittleEndian}
+	f.fourcc = le.Uint32(data[8:])
+	if v := le.Uint32(data[12:]); v != FlatVersion {
+		return nil, fmt.Errorf("%w: file is version %d, this reader supports version %d",
+			ErrVersion, v, FlatVersion)
+	}
+	count := int64(le.Uint32(data[16:]))
+	size := int64(len(data))
+	if flatHeaderSize+count*flatEntrySize > size {
+		return nil, fmt.Errorf("%w: section table (%d sections) exceeds file size %d",
+			ErrCorrupt, count, size)
+	}
+	metaOff := int64(le.Uint64(data[24:]))
+	metaLen := int64(le.Uint64(data[32:]))
+	if metaOff < 0 || metaLen < 0 || metaOff > size || metaLen > size-metaOff {
+		return nil, fmt.Errorf("%w: meta blob [%d, +%d) exceeds file size %d",
+			ErrCorrupt, metaOff, metaLen, size)
+	}
+	f.meta = data[metaOff : metaOff+metaLen]
+	f.secs = make([]parsedSection, count)
+	for i := range f.secs {
+		entry := data[flatHeaderSize+int64(i)*flatEntrySize:]
+		kind := SectionKind(le.Uint32(entry))
+		off := int64(le.Uint64(entry[8:]))
+		n := int64(le.Uint64(entry[16:]))
+		es := kind.elemSize()
+		if es == 0 {
+			return nil, fmt.Errorf("%w: section %d has unknown kind %d", ErrCorrupt, i, uint32(kind))
+		}
+		if off < 0 || n < 0 || off > size || n > size-off {
+			return nil, fmt.Errorf("%w: section %d [%d, +%d) exceeds file size %d",
+				ErrCorrupt, i, off, n, size)
+		}
+		if n%es != 0 {
+			return nil, fmt.Errorf("%w: section %d length %d is not a multiple of %s elements",
+				ErrCorrupt, i, n, kind)
+		}
+		f.secs[i] = parsedSection{kind: kind, data: data[off : off+n]}
+	}
+	return f, nil
+}
+
+// OpenFlat maps (or, where mmap is unavailable, reads) the file at path
+// and parses it as a flat container. The caller must Close the returned
+// file once every slice obtained from it is unreachable.
+func OpenFlat(path string, preferMmap bool) (*FlatFile, error) {
+	data, unmap, err := mapFile(path, preferMmap && hostLittleEndian)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ParseFlat(data, true)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	f.unmap = unmap
+	return f, nil
+}
+
+// Close releases the underlying mapping, if any. Slices obtained from the
+// file must not be used afterwards.
+func (f *FlatFile) Close() error {
+	unmap := f.unmap
+	f.unmap = nil
+	f.data, f.meta, f.secs = nil, nil, nil
+	if unmap != nil {
+		return unmap()
+	}
+	return nil
+}
+
+// Mapped reports whether the file is backed by an mmap (as opposed to a
+// heap buffer).
+func (f *FlatFile) Mapped() bool { return f.unmap != nil }
+
+// SizeBytes returns the container size.
+func (f *FlatFile) SizeBytes() int64 { return int64(len(f.data)) }
+
+// Fourcc returns the container's index-type tag.
+func (f *FlatFile) Fourcc() uint32 { return f.fourcc }
+
+// NumSections returns the number of sections.
+func (f *FlatFile) NumSections() int { return len(f.secs) }
+
+// Meta returns a Reader over the metadata blob, bounded by its length so
+// corrupt length prefixes cannot trigger oversized allocations.
+func (f *FlatFile) Meta() *Reader {
+	return NewReaderLimit(&sliceReader{b: f.meta}, int64(len(f.meta)))
+}
+
+// sliceReader is a minimal in-memory io.Reader.
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}
+
+func (f *FlatFile) section(i int, kind SectionKind) ([]byte, error) {
+	if i < 0 || i >= len(f.secs) {
+		return nil, fmt.Errorf("%w: section %d out of range (file has %d)", ErrCorrupt, i, len(f.secs))
+	}
+	if f.secs[i].kind != kind {
+		return nil, fmt.Errorf("%w: section %d is %s, want %s", ErrCorrupt, i, f.secs[i].kind, kind)
+	}
+	return f.secs[i].data, nil
+}
+
+// U8 returns section i as a byte slice (always zero-copy).
+func (f *FlatFile) U8(i int) ([]uint8, error) {
+	return f.section(i, SectionU8)
+}
+
+// I32 returns section i as an []int32, casting in place when possible.
+func (f *FlatFile) I32(i int) ([]int32, error) {
+	b, err := f.section(i, SectionI32)
+	if err != nil {
+		return nil, err
+	}
+	return castI32(b, f.zeroCopy), nil
+}
+
+// U32 returns section i as a []uint32, casting in place when possible.
+func (f *FlatFile) U32(i int) ([]uint32, error) {
+	b, err := f.section(i, SectionU32)
+	if err != nil {
+		return nil, err
+	}
+	return i32AsU32(castI32(b, f.zeroCopy)), nil
+}
+
+// I64 returns section i as an []int64, casting in place when possible.
+func (f *FlatFile) I64(i int) ([]int64, error) {
+	b, err := f.section(i, SectionI64)
+	if err != nil {
+		return nil, err
+	}
+	return castI64(b, f.zeroCopy), nil
+}
+
+// NestedFlat parses U8 section i as an embedded flat container. The nested
+// file shares the parent's backing (do not Close the parent first) and
+// inherits its zero-copy mode; closing the nested file is a no-op.
+func (f *FlatFile) NestedFlat(i int) (*FlatFile, error) {
+	b, err := f.section(i, SectionU8)
+	if err != nil {
+		return nil, err
+	}
+	return ParseFlat(b, f.zeroCopy)
+}
+
+// --- raw little-endian views -------------------------------------------
+
+// i32LEBytes returns the little-endian byte image of s without copying on
+// little-endian hosts.
+func i32LEBytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	b := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func i64LEBytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+	}
+	b := make([]byte, 8*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+// u32AsI32 reinterprets a []uint32 as []int32 (same size and layout).
+func u32AsI32(s []uint32) []int32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// i32AsU32 is the inverse reinterpretation.
+func i32AsU32(s []int32) []uint32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// castI32 views b as little-endian int32s: in place when allowed, aligned
+// and on a little-endian host; otherwise via a decoding copy.
+func castI32(b []byte, zeroCopy bool) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(int32(0)) == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return s
+}
+
+func castI64(b []byte, zeroCopy bool) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(int64(0)) == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return s
+}
+
+// CastStructs reinterprets a little-endian int32 run as a slice of T,
+// where T must be a struct composed solely of int32-compatible fields
+// (e.g. geom.Point). It is the bridge that lets index packages map their
+// own plain-old-data types over a section without binio knowing the type.
+// The data must outlive the result; sizeof(T) must divide 4*len(raw).
+func CastStructs[T any](raw []int32) []T {
+	if len(raw) == 0 {
+		return nil
+	}
+	var t T
+	size := int(unsafe.Sizeof(t))
+	if size == 0 || (4*len(raw))%size != 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&raw[0])), 4*len(raw)/size)
+}

@@ -1,0 +1,29 @@
+//go:build !linux && !darwin
+
+package binio
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// MmapSupported reports whether this platform can map index files instead
+// of reading them onto the heap.
+const MmapSupported = false
+
+// mapFile reads the file at path onto the heap; this platform has no mmap
+// fast path, so the release function is always nil and loads copy.
+func mapFile(path string, preferMmap bool) (data []byte, unmap func() error, err error) {
+	_ = preferMmap
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,47 @@
+//go:build linux || darwin
+
+package binio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether this platform can map index files instead
+// of reading them onto the heap.
+const MmapSupported = true
+
+// mapFile returns the contents of the file at path plus a release
+// function. With preferMmap (and a non-empty file) the contents are a
+// read-only shared mapping: loading is O(1), the pages are demand-faulted
+// from the page cache and shared across processes serving the same index.
+// Otherwise — or when the mapping fails — the file is read onto the heap
+// and the release function is nil.
+func mapFile(path string, preferMmap bool) (data []byte, unmap func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if preferMmap {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, nil, err
+		}
+		if size := st.Size(); size > 0 && int64(int(size)) == size {
+			b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+			if err == nil {
+				return b, func() error { return syscall.Munmap(b) }, nil
+			}
+			// Fall through to the heap read: some filesystems (and empty
+			// files) cannot be mapped, and a copying load is always valid.
+		}
+	}
+	data, err = io.ReadAll(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,47 @@
+package binio
+
+import "fmt"
+
+// Ragged-array helpers. The index structures hold many per-vertex rows of
+// varying length ([][]int32 distance tables, [][]uint8 color maps, ...).
+// The flat format stores such an array as two sections — an offsets run of
+// len(rows)+1 int64s and the concatenated row data — and the loader
+// rebuilds the outer slice as views into the (possibly mapped) data: one
+// allocation of slice headers regardless of row count, zero copies of row
+// content.
+
+// Flatten converts rows into the offsets + concatenated-data pair the flat
+// format stores. offsets[i] .. offsets[i+1] delimit row i in data.
+func Flatten[T any](rows [][]T) (offsets []int64, data []T) {
+	offsets = make([]int64, len(rows)+1)
+	total := 0
+	for i, row := range rows {
+		offsets[i] = int64(total)
+		total += len(row)
+	}
+	offsets[len(rows)] = int64(total)
+	data = make([]T, 0, total)
+	for _, row := range rows {
+		data = append(data, row...)
+	}
+	return offsets, data
+}
+
+// Unflatten rebuilds the outer slice over data: row i aliases
+// data[offsets[i]:offsets[i+1]]. Rows share data's backing (page cache for
+// mapped sections) and must be treated as immutable.
+func Unflatten[T any](offsets []int64, data []T) ([][]T, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("%w: empty ragged offsets section", ErrCorrupt)
+	}
+	rows := make([][]T, len(offsets)-1)
+	n := int64(len(data))
+	for i := range rows {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo < 0 || hi < lo || hi > n {
+			return nil, fmt.Errorf("%w: ragged row %d spans [%d, %d) of %d elements", ErrCorrupt, i, lo, hi, n)
+		}
+		rows[i] = data[lo:hi:hi]
+	}
+	return rows, nil
+}

@@ -61,8 +61,12 @@ type Hierarchy struct {
 	upMiddle []int32 // contracted middle vertex of a shortcut, -1 for edges
 
 	// unpack maps a vertex pair to the middle vertex of the minimal-weight
-	// edge/shortcut joining it, for recursive path unpacking.
-	unpack map[pairKey]int32
+	// edge/shortcut joining it, for recursive path unpacking. Built and
+	// v1-loaded hierarchies use the map; flat-loaded (zero-copy) ones keep
+	// the on-disk form instead — parallel arrays sorted by (u, v), searched
+	// by middleOf — so loading never materializes per-entry heap state.
+	unpack                         map[pairKey]int32
+	unpackU, unpackV, unpackMiddle []int32
 
 	numShortcuts int
 	buildTime    time.Duration
@@ -267,5 +271,33 @@ func (h *Hierarchy) SizeBytes() int64 {
 		int64(len(h.upWeight))*4 + int64(len(h.upMiddle))*4 + int64(len(h.rank))*4
 	// map entry: key (8) + value (4) + bucket overhead (~8)
 	unpack := int64(len(h.unpack)) * 20
+	// Flat-loaded hierarchies keep the sorted-array form instead: 12 bytes
+	// per entry, shared with the page cache when mapped.
+	unpack += int64(len(h.unpackU)) * 12
 	return csr + unpack
+}
+
+// middleOf resolves the middle vertex of the minimal edge/shortcut joining
+// u and w: from the unpack map on built/v1-loaded hierarchies, by binary
+// search over the sorted flat arrays on zero-copy loads. Reported middles
+// below zero mean "original edge".
+func (h *Hierarchy) middleOf(u, w graph.VertexID) (int32, bool) {
+	k := orderedKey(u, w)
+	if h.unpack != nil {
+		middle, ok := h.unpack[k]
+		return middle, ok
+	}
+	lo, hi := 0, len(h.unpackU)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.unpackU[mid] < k.u || (h.unpackU[mid] == k.u && h.unpackV[mid] < k.v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.unpackU) && h.unpackU[lo] == k.u && h.unpackV[lo] == k.v {
+		return h.unpackMiddle[lo], true
+	}
+	return 0, false
 }

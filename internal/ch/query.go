@@ -245,7 +245,7 @@ func (s *Searcher) pathFromLast(from, to graph.VertexID) ([]graph.VertexID, int6
 // path (excluding u, including w). Shortcuts expand recursively through
 // their middle-vertex tags, exactly as §3.2 describes for c1 -> (v3,v1),(v1,v8).
 func (h *Hierarchy) appendUnpacked(path []graph.VertexID, u, w graph.VertexID) []graph.VertexID {
-	middle, ok := h.unpack[orderedKey(u, w)]
+	middle, ok := h.middleOf(u, w)
 	if !ok || middle < 0 {
 		// Original edge.
 		return append(path, w)

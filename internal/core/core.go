@@ -16,6 +16,7 @@ import (
 
 	"roadnet/internal/alt"
 	"roadnet/internal/arcflags"
+	"roadnet/internal/binio"
 	"roadnet/internal/ch"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/graph"
@@ -164,7 +165,7 @@ func BuildIndex(method Method, g *graph.Graph, cfg Config) (Index, error) {
 		if h == nil {
 			h = ch.Build(g, cfg.CH)
 		}
-		ix = &chIndex{h: h, s: h.NewSearcher()}
+		ix = &chIndex{h: h}
 	case MethodTNR:
 		opts := cfg.TNR
 		if opts.Hierarchy == nil {
@@ -275,15 +276,37 @@ func (ix *dijkstraIndex) Stats() Stats {
 
 type chIndex struct {
 	h *ch.Hierarchy
+	// s is the default searcher backing the Index's own query methods,
+	// created lazily so loading an index allocates nothing per-vertex
+	// until the single-goroutine convenience API is actually used (pools
+	// and NewSearcher never touch it). Lazy without a lock is fine: the
+	// Index's own query methods are single-goroutine by contract.
 	s *ch.Searcher
+	// backing is the flat container a mapped hierarchy's arrays alias
+	// (LoadIndexFile); nil otherwise. See CloseIndex.
+	backing *binio.FlatFile
+}
+
+func (ix *chIndex) def() *ch.Searcher {
+	if ix.s == nil {
+		ix.s = ix.h.NewSearcher()
+	}
+	return ix.s
+}
+
+func (ix *chIndex) closeBacking() error {
+	if ix.backing == nil {
+		return nil
+	}
+	return ix.backing.Close()
 }
 
 func (ix *chIndex) Method() Method { return MethodCH }
 func (ix *chIndex) Distance(s, t graph.VertexID) int64 {
-	return ix.s.Distance(s, t)
+	return ix.def().Distance(s, t)
 }
 func (ix *chIndex) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
-	return ix.s.ShortestPath(s, t)
+	return ix.def().ShortestPath(s, t)
 }
 func (ix *chIndex) NewSearcher() Searcher { return ix.h.NewSearcher() }
 func (ix *chIndex) Stats() Stats {
@@ -302,7 +325,17 @@ func HierarchyOf(ix Index) *ch.Hierarchy {
 	return nil
 }
 
-type tnrIndex struct{ t *tnr.Index }
+type tnrIndex struct {
+	t       *tnr.Index
+	backing *binio.FlatFile // see chIndex.backing
+}
+
+func (ix *tnrIndex) closeBacking() error {
+	if ix.backing == nil {
+		return nil
+	}
+	return ix.backing.Close()
+}
 
 func (ix *tnrIndex) Method() Method { return MethodTNR }
 func (ix *tnrIndex) Distance(s, t graph.VertexID) int64 {
@@ -333,7 +366,17 @@ func SILCOf(ix Index) *silc.Index {
 	return nil
 }
 
-type silcIndex struct{ s *silc.Index }
+type silcIndex struct {
+	s       *silc.Index
+	backing *binio.FlatFile // see chIndex.backing
+}
+
+func (ix *silcIndex) closeBacking() error {
+	if ix.backing == nil {
+		return nil
+	}
+	return ix.backing.Close()
+}
 
 func (ix *silcIndex) Method() Method { return MethodSILC }
 func (ix *silcIndex) Distance(s, t graph.VertexID) int64 {

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"roadnet/internal/ch"
+	"roadnet/internal/core"
+	"roadnet/internal/graph"
+	"roadnet/internal/testutil"
+)
+
+// loadFixture builds one CH index over a mid-sized network and saves it to
+// a temp file exactly once per test binary, so -count N repeats of the load
+// benchmarks do not pay the build again.
+var loadFixture struct {
+	once sync.Once
+	g    *graph.Graph
+	path string
+	err  error
+}
+
+func loadFixturePath(b *testing.B) (*graph.Graph, string) {
+	b.Helper()
+	loadFixture.once.Do(func() {
+		loadFixture.g = testutil.SmallRoad(20000, 921)
+		h := ch.Build(loadFixture.g, ch.Options{})
+		dir, err := os.MkdirTemp("", "roadnet-loadbench")
+		if err != nil {
+			loadFixture.err = err
+			return
+		}
+		loadFixture.path = filepath.Join(dir, "ch.idx")
+		f, err := os.Create(loadFixture.path)
+		if err != nil {
+			loadFixture.err = err
+			return
+		}
+		defer f.Close()
+		loadFixture.err = h.Save(f)
+	})
+	if loadFixture.err != nil {
+		b.Fatal(loadFixture.err)
+	}
+	return loadFixture.g, loadFixture.path
+}
+
+// benchmarkIndexLoad measures one full LoadIndexFile+CloseIndex cycle per
+// iteration. The heap/mmap pair feeds the load_speedup ratio gate in
+// BENCH_baseline.json: mmap loads must stay an order of magnitude cheaper
+// than heap loads because they touch only the header and section table.
+func benchmarkIndexLoad(b *testing.B, preferMmap bool) {
+	g, path := loadFixturePath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, _, err := core.LoadIndexFile(core.MethodCH, path, g, preferMmap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.CloseIndex(ix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLoadHeap(b *testing.B) { benchmarkIndexLoad(b, false) }
+
+func BenchmarkIndexLoadMmap(b *testing.B) { benchmarkIndexLoad(b, true) }

@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"roadnet/internal/binio"
+	"roadnet/internal/ch"
+	"roadnet/internal/core"
+	"roadnet/internal/testutil"
+	"roadnet/internal/tnr"
+)
+
+// saveToFile writes ix with core.SaveIndex and returns the file path.
+func saveToFile(t *testing.T, ix core.Index, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SaveIndex(ix, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadIndexFileOracle is the zero-copy correctness oracle: for each
+// serializable technique it compares the freshly built index against the
+// same index loaded back from disk through both load paths (heap and mmap)
+// and requires bit-identical distances and paths on every sampled pair.
+func TestLoadIndexFileOracle(t *testing.T) {
+	g := testutil.SmallRoad(900, 911)
+	pairs := testutil.SamplePairs(g, 200, 163)
+	pathPairs := testutil.SamplePairs(g, 50, 165)
+	for _, m := range []core.Method{core.MethodCH, core.MethodTNR, core.MethodSILC} {
+		built, err := core.BuildIndex(m, g, core.Config{TNR: tnr.Options{GridSize: 8}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := saveToFile(t, built, string(m)+".idx")
+
+		for _, preferMmap := range []bool{false, true} {
+			loaded, info, err := core.LoadIndexFile(m, path, g, preferMmap)
+			if err != nil {
+				t.Fatalf("%s preferMmap=%v: %v", m, preferMmap, err)
+			}
+			if !info.Flat {
+				t.Errorf("%s: SaveIndex output not recognised as flat", m)
+			}
+			wantMapped := preferMmap && binio.MmapSupported
+			if info.Mapped != wantMapped {
+				t.Errorf("%s preferMmap=%v: Mapped=%v, want %v", m, preferMmap, info.Mapped, wantMapped)
+			}
+			if info.SizeBytes <= 0 {
+				t.Errorf("%s: SizeBytes=%d, want > 0", m, info.SizeBytes)
+			}
+			for _, p := range pairs {
+				if got, want := loaded.Distance(p[0], p[1]), built.Distance(p[0], p[1]); got != want {
+					t.Fatalf("%s preferMmap=%v: dist(%d,%d)=%d, built says %d", m, preferMmap, p[0], p[1], got, want)
+				}
+			}
+			for _, p := range pathPairs {
+				gotPath, gotD := loaded.ShortestPath(p[0], p[1])
+				wantPath, wantD := built.ShortestPath(p[0], p[1])
+				if gotD != wantD || !reflect.DeepEqual(gotPath, wantPath) {
+					t.Fatalf("%s preferMmap=%v: path(%d,%d) differs from built index", m, preferMmap, p[0], p[1])
+				}
+			}
+			if err := core.CloseIndex(loaded); err != nil {
+				t.Errorf("%s: CloseIndex: %v", m, err)
+			}
+		}
+	}
+}
+
+// TestLoadIndexFileV1Fallback feeds LoadIndexFile a legacy v1 stream file:
+// it must fall back to the copying decoder and still answer correctly.
+func TestLoadIndexFileV1Fallback(t *testing.T) {
+	g := testutil.SmallRoad(400, 913)
+	h := ch.Build(g, ch.Options{})
+	path := filepath.Join(t.TempDir(), "ch-v1.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SaveV1(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, info, err := core.LoadIndexFile(core.MethodCH, path, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.CloseIndex(loaded)
+	if info.Flat || info.Mapped {
+		t.Errorf("v1 file reported Flat=%v Mapped=%v, want false/false", info.Flat, info.Mapped)
+	}
+	if info.Mode() != "heap(v1)" {
+		t.Errorf("Mode()=%q, want heap(v1)", info.Mode())
+	}
+	testutil.CheckDistancesAgainstDijkstra(t, g, testutil.SamplePairs(g, 100, 167), loaded.Distance)
+}
+
+// TestLoadIndexFileErrors covers the failure paths: missing file, garbage
+// content, and a flat file of the wrong technique.
+func TestLoadIndexFileErrors(t *testing.T) {
+	g := testutil.SmallRoad(200, 915)
+
+	if _, _, err := core.LoadIndexFile(core.MethodCH, filepath.Join(t.TempDir(), "absent.idx"), g, true); err == nil {
+		t.Error("missing file must fail")
+	}
+
+	garbage := filepath.Join(t.TempDir(), "garbage.idx")
+	if err := os.WriteFile(garbage, []byte("not an index at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.LoadIndexFile(core.MethodCH, garbage, g, true); err == nil {
+		t.Error("garbage file must fail")
+	}
+
+	chIx, err := core.BuildIndex(core.MethodCH, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chPath := saveToFile(t, chIx, "ch.idx")
+	if _, _, err := core.LoadIndexFile(core.MethodSILC, chPath, g, true); err == nil {
+		t.Error("cross-method flat load must fail")
+	}
+	if _, _, err := core.LoadIndexFile(core.MethodDijkstra, chPath, g, true); err == nil {
+		t.Error("non-serializable method must fail")
+	}
+}
+
+// TestMappedSearchersShareIndex checks that searchers over an mmap-loaded
+// index work and agree with the convenience methods.
+func TestMappedSearchersShareIndex(t *testing.T) {
+	g := testutil.SmallRoad(400, 917)
+	built, err := core.BuildIndex(core.MethodCH, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := saveToFile(t, built, "ch.idx")
+	loaded, _, err := core.LoadIndexFile(core.MethodCH, path, g, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer core.CloseIndex(loaded)
+	s := loaded.NewSearcher()
+	for _, p := range testutil.SamplePairs(g, 100, 169) {
+		if got, want := s.Distance(p[0], p[1]), loaded.Distance(p[0], p[1]); got != want {
+			t.Fatalf("searcher dist(%d,%d)=%d, index says %d", p[0], p[1], got, want)
+		}
+	}
+}

@@ -35,7 +35,7 @@ func LoadIndex(method Method, r io.Reader, g *graph.Graph) (Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &chIndex{h: h, s: h.NewSearcher()}, nil
+		return &chIndex{h: h}, nil
 	case MethodTNR:
 		t, err := tnr.ReadIndex(r, g)
 		if err != nil {

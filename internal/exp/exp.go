@@ -11,6 +11,8 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"text/tabwriter"
 
@@ -43,6 +45,14 @@ type Config struct {
 	// observation that they exceed memory beyond the four smallest
 	// datasets. Defaults 25000 and 10000.
 	SILCMaxVertices, PCPDMaxVertices int
+	// CacheDir, when set, persists built CH/TNR/SILC indexes as flat v2
+	// files and reuses them across invocations, so repeated spexp runs skip
+	// the all-pairs preprocessing. Files are keyed by dataset, method and
+	// the config knobs that shape the index.
+	CacheDir string
+	// CacheMmap maps cached index files instead of reading them onto the
+	// heap (effective only where the platform supports it).
+	CacheMmap bool
 }
 
 func (c Config) withDefaults() Config {
@@ -217,6 +227,20 @@ func (l *lab) index(m core.Method, name string) (core.Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	cachePath := l.cachePath(m, name)
+	if cachePath != "" {
+		if _, serr := os.Stat(cachePath); serr == nil {
+			if ix, _, lerr := core.LoadIndexFile(m, cachePath, g, l.cfg.CacheMmap); lerr == nil {
+				if l.indexes[name] == nil {
+					l.indexes[name] = map[core.Method]core.Index{}
+				}
+				l.indexes[name][m] = ix
+				return ix, nil
+			}
+			// An unreadable cache entry (stale format, truncation) is
+			// rebuilt and overwritten below.
+		}
+	}
 	h, err := l.hierarchy(name)
 	if err != nil {
 		return nil, err
@@ -233,11 +257,49 @@ func (l *lab) index(m core.Method, name string) (core.Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cachePath != "" {
+		if err := saveIndexFile(ix, cachePath); err != nil {
+			return nil, fmt.Errorf("exp: caching %s: %w", cachePath, err)
+		}
+	}
 	if l.indexes[name] == nil {
 		l.indexes[name] = map[core.Method]core.Index{}
 	}
 	l.indexes[name][m] = ix
 	return ix, nil
+}
+
+// cachePath names the on-disk cache entry for a method's index on a
+// dataset, or "" when caching does not apply. The name embeds every config
+// knob that shapes the index, so changed configs rebuild rather than load
+// a mismatched file.
+func (l *lab) cachePath(m core.Method, name string) string {
+	if l.cfg.CacheDir == "" {
+		return ""
+	}
+	switch m {
+	case core.MethodCH, core.MethodSILC:
+		return filepath.Join(l.cfg.CacheDir, fmt.Sprintf("%s-%s.idx", name, m))
+	case core.MethodTNR:
+		return filepath.Join(l.cfg.CacheDir, fmt.Sprintf("%s-%s-g%d.idx", name, m, l.cfg.TNRGridSize))
+	default:
+		return ""
+	}
+}
+
+func saveIndexFile(ix core.Index, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := core.SaveIndex(ix, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func errorsIsTooLarge(err error) bool {

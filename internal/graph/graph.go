@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 
+	"roadnet/internal/binio"
 	"roadnet/internal/geom"
 )
 
@@ -51,6 +52,10 @@ type Graph struct {
 
 	numEdges int
 	bounds   geom.Rect
+
+	// backing is the flat container a mapped graph's arrays alias
+	// (LoadFile); nil for built or stream-read graphs. See Close.
+	backing *binio.FlatFile
 }
 
 // NumVertices returns the number of vertices.

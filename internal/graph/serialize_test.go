@@ -1,0 +1,106 @@
+package graph_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roadnet/internal/gen"
+	"roadnet/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.Generate(gen.Params{N: 500, Seed: 7})
+}
+
+// sameGraph asserts g and h are structurally identical.
+func sameGraph(t *testing.T, g, h *graph.Graph) {
+	t.Helper()
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() || h.NumArcs() != g.NumArcs() {
+		t.Fatalf("sizes differ: %d/%d/%d vs %d/%d/%d",
+			h.NumVertices(), h.NumEdges(), h.NumArcs(),
+			g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+	if h.Bounds() != g.Bounds() {
+		t.Errorf("bounds differ: %v vs %v", h.Bounds(), g.Bounds())
+	}
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		if h.Coord(v) != g.Coord(v) {
+			t.Fatalf("coord of %d differs", v)
+		}
+		glo, ghi := g.ArcsOf(v)
+		hlo, hhi := h.ArcsOf(v)
+		if glo != hlo || ghi != hhi {
+			t.Fatalf("arc range of %d differs", v)
+		}
+		for a := glo; a < ghi; a++ {
+			if g.Head(a) != h.Head(a) || g.ArcWeight(a) != h.ArcWeight(a) || g.EdgeIDOf(a) != h.EdgeIDOf(a) {
+				t.Fatalf("arc %d of %d differs", a, v)
+			}
+		}
+	}
+}
+
+func TestGraphSaveReadRoundtrip(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := graph.ReadGraph(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, h)
+}
+
+func TestGraphLoadFile(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "net.graph")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, preferMmap := range []bool{false, true} {
+		h, err := graph.LoadFile(path, preferMmap)
+		if err != nil {
+			t.Fatalf("preferMmap=%v: %v", preferMmap, err)
+		}
+		sameGraph(t, g, h)
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGraphReadRejectsGarbage(t *testing.T) {
+	if _, err := graph.ReadGraph(strings.NewReader("p sp 5 4\n")); err == nil {
+		t.Error("DIMACS text accepted as a binary graph")
+	}
+	if _, err := graph.ReadGraph(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestGraphReadRejectsTruncation(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{10, 40, len(data) / 2, len(data) - 3} {
+		if _, err := graph.ReadGraph(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

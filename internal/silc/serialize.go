@@ -1,8 +1,10 @@
 package silc
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"roadnet/internal/binio"
@@ -13,14 +15,220 @@ import (
 // Serialization: SILC preprocessing is all-pairs shortest paths (§3.4,
 // hours on the paper's datasets), so persisting the built index matters
 // even more than for CH.
+//
+// Save writes the flat v2 container: the per-source interval tables — the
+// O(n sqrt n) bulk of the index — are stored as shared offsets plus
+// concatenated starts/colors/minDist sections a loader can mmap and view
+// in place, and the exception maps become per-source sorted (target,
+// color) runs searched binarily at query time. SaveV1 keeps the legacy
+// length-prefixed stream; ReadIndex accepts both.
 
 const (
 	silcMagic   = "ROADNET-SILC\n"
 	silcVersion = 1
 )
 
-// Save serializes the index.
+// Fourcc tags a flat container holding a SILC index.
+const Fourcc uint32 = 'S' | 'I'<<8 | 'L'<<16 | 'C'<<24
+
+// Save serializes the index in the flat v2 format.
 func (ix *Index) Save(w io.Writer) error {
+	n := ix.g.NumVertices()
+	fw := binio.NewFlatWriter(Fourcc)
+	mw := fw.Meta()
+	mw.Magic(silcMagic)
+	mw.I64(int64(n))
+	mw.I64(int64(ix.g.NumEdges()))
+	mw.U8(uint8(ix.norm.Bits()))
+	mw.I64(ix.buildTime.Nanoseconds())
+	mw.I64(ix.intervals)
+	hasNearest := uint8(0)
+	if ix.minDist != nil {
+		hasNearest = 1
+	}
+	mw.U8(hasNearest)
+
+	rowOff, startsData := binio.Flatten(ix.starts)
+	_, colorsData := binio.Flatten(ix.colors)
+	fw.I64Section(rowOff)
+	fw.U32Section(startsData)
+	fw.U8Section(colorsData)
+	var minDistData []int32
+	if hasNearest != 0 {
+		_, minDistData = binio.Flatten(ix.minDist)
+	}
+	fw.I32Section(minDistData)
+	fw.U32Section(ix.code)
+	fw.I32Section(ix.order)
+	excOff, excTarget, excColor := ix.exceptionRuns()
+	fw.I64Section(excOff)
+	fw.I32Section(excTarget)
+	fw.U8Section(excColor)
+	_, err := fw.WriteTo(w)
+	return err
+}
+
+// exceptionRuns returns the exception tables in on-disk form: per-source
+// runs of (target, color) pairs sorted by target, delimited by offsets.
+// Flat-loaded indexes already hold this form and pass it through.
+func (ix *Index) exceptionRuns() (off []int64, targets []int32, colors []uint8) {
+	if ix.exceptions == nil {
+		return ix.excOff, ix.excTarget, ix.excColor
+	}
+	off = make([]int64, len(ix.exceptions)+1)
+	total := 0
+	for v, exc := range ix.exceptions {
+		off[v] = int64(total)
+		total += len(exc)
+	}
+	off[len(ix.exceptions)] = int64(total)
+	targets = make([]int32, 0, total)
+	colors = make([]uint8, 0, total)
+	for _, exc := range ix.exceptions {
+		row := make([]int32, 0, len(exc))
+		for target := range exc {
+			row = append(row, target)
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		targets = append(targets, row...)
+		for _, target := range row {
+			colors = append(colors, exc[target])
+		}
+	}
+	return off, targets, colors
+}
+
+// ReadIndex deserializes an index written with Save (v2) or SaveV1,
+// re-attaching it to g (the same network it was built on). This is the
+// copying stream path; use core.LoadIndexFile for the zero-copy mmap path.
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(len(binio.FlatMagic)); err == nil && binio.IsFlat(prefix) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("silc: reading index: %w", err)
+		}
+		f, err := binio.ParseFlat(data, true)
+		if err != nil {
+			return nil, fmt.Errorf("silc: %w", err)
+		}
+		return IndexFromFlat(f, g)
+	}
+	return readIndexV1(br, g)
+}
+
+// IndexFromFlat builds an index over the sections of f. The index aliases
+// f's data; f must stay open for its lifetime. Exception lookups on a
+// flat-loaded index binary-search the sorted on-disk runs instead of
+// rebuilt maps, so no per-entry work happens at load time.
+func IndexFromFlat(f *binio.FlatFile, g *graph.Graph) (*Index, error) {
+	if f.Fourcc() != Fourcc {
+		return nil, fmt.Errorf("silc: flat container fourcc %#x is not a SILC index", f.Fourcc())
+	}
+	mr := f.Meta()
+	mr.Magic(silcMagic)
+	n := mr.I64()
+	m := mr.I64()
+	bits := uint(mr.U8())
+	buildNs := mr.I64()
+	intervals := mr.I64()
+	hasNearest := mr.U8() != 0
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("silc: reading header: %w", err)
+	}
+	if n != int64(g.NumVertices()) || m != int64(g.NumEdges()) {
+		return nil, fmt.Errorf("silc: index was built for a %dx%d graph, got %dx%d",
+			n, m, g.NumVertices(), g.NumEdges())
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("silc: implausible normalizer bits %d", bits)
+	}
+	ix := &Index{
+		g:         g,
+		norm:      geom.NewNormalizer(g.Bounds(), bits),
+		buildTime: time.Duration(buildNs),
+		intervals: intervals,
+	}
+	var err error
+	fail := func(err error) (*Index, error) { return nil, fmt.Errorf("silc: %w", err) }
+	rowOff, err := f.I64(0)
+	if err != nil {
+		return fail(err)
+	}
+	startsData, err := f.U32(1)
+	if err != nil {
+		return fail(err)
+	}
+	colorsData, err := f.U8(2)
+	if err != nil {
+		return fail(err)
+	}
+	// O(1) structural checks; per-element scans are deliberately skipped so
+	// a mapped load touches no data pages.
+	if int64(len(rowOff))-1 != n {
+		return nil, fmt.Errorf("silc: interval tables have %d rows, graph has %d vertices", len(rowOff)-1, n)
+	}
+	if len(startsData) != len(colorsData) {
+		return nil, fmt.Errorf("%w: silc starts/colors sections differ in length", binio.ErrCorrupt)
+	}
+	if ix.starts, err = binio.Unflatten(rowOff, startsData); err != nil {
+		return fail(err)
+	}
+	if ix.colors, err = binio.Unflatten(rowOff, colorsData); err != nil {
+		return fail(err)
+	}
+	if hasNearest {
+		minDistData, err := f.I32(3)
+		if err != nil {
+			return fail(err)
+		}
+		if len(minDistData) != len(startsData) {
+			return nil, fmt.Errorf("%w: silc minDist section does not match the interval tables", binio.ErrCorrupt)
+		}
+		if ix.minDist, err = binio.Unflatten(rowOff, minDistData); err != nil {
+			return fail(err)
+		}
+	}
+	if ix.code, err = f.U32(4); err != nil {
+		return fail(err)
+	}
+	if int64(len(ix.code)) != n {
+		return nil, fmt.Errorf("silc: code table sized for a different graph")
+	}
+	if hasNearest {
+		if ix.order, err = f.I32(5); err != nil {
+			return fail(err)
+		}
+		if int64(len(ix.order)) != n {
+			return nil, fmt.Errorf("silc: order table sized for a different graph")
+		}
+	}
+	if ix.excOff, err = f.I64(6); err != nil {
+		return fail(err)
+	}
+	if ix.excTarget, err = f.I32(7); err != nil {
+		return fail(err)
+	}
+	if ix.excColor, err = f.U8(8); err != nil {
+		return fail(err)
+	}
+	if int64(len(ix.excOff))-1 != n {
+		return nil, fmt.Errorf("%w: silc exception offsets sized for a different graph", binio.ErrCorrupt)
+	}
+	if len(ix.excTarget) != len(ix.excColor) {
+		return nil, fmt.Errorf("%w: silc exception target/color sections differ in length", binio.ErrCorrupt)
+	}
+	// Validate the offsets the same way Unflatten would, without building
+	// row views: exception rows are sliced lazily in exceptionColor.
+	if _, err := binio.Unflatten(ix.excOff, ix.excTarget); err != nil {
+		return fail(err)
+	}
+	return ix, nil
+}
+
+// SaveV1 serializes the index in the legacy length-prefixed v1 format.
+// New deployments should prefer Save.
+func (ix *Index) SaveV1(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Magic(silcMagic)
 	bw.U8(silcVersion)
@@ -38,29 +246,39 @@ func (ix *Index) Save(w io.Writer) error {
 	if hasNearest != 0 {
 		bw.I32Slice(ix.order)
 	}
+	excOff, excTarget, excColor := ix.exceptionRuns()
 	for v := range ix.starts {
 		bw.U32Slice(ix.starts[v])
 		bw.U8Slice(ix.colors[v])
 		if hasNearest != 0 {
 			bw.I32Slice(ix.minDist[v])
 		}
-		exc := ix.exceptions[v]
-		bw.I64(int64(len(exc)))
-		for target, color := range exc {
-			bw.I32(target)
-			bw.U8(color)
+		lo, hi := excRow(excOff, v)
+		bw.I64(hi - lo)
+		for i := lo; i < hi; i++ {
+			bw.I32(excTarget[i])
+			bw.U8(excColor[i])
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadIndex deserializes an index written with Save, re-attaching it to
-// g (the same network it was built on).
-func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+// excRow returns the [lo, hi) run of row v in a flat exception table, or
+// an empty run when the table is absent.
+func excRow(off []int64, v int) (lo, hi int64) {
+	if v+1 >= len(off) {
+		return 0, 0
+	}
+	return off[v], off[v+1]
+}
+
+// readIndexV1 decodes the legacy length-prefixed format.
+func readIndexV1(r io.Reader, g *graph.Graph) (*Index, error) {
 	br := binio.NewReader(r)
 	br.Magic(silcMagic)
 	if v := br.U8(); br.Err() == nil && v != silcVersion {
-		return nil, fmt.Errorf("silc: unsupported format version %d", v)
+		return nil, fmt.Errorf("silc: unsupported format version %d (this reader supports v%d and the v%d flat container)",
+			v, silcVersion, binio.FlatVersion)
 	}
 	n := br.I64()
 	m := br.I64()

@@ -62,8 +62,15 @@ type Index struct {
 
 	// exceptions lists, per source, the vertices whose Morton cell is
 	// shared with a different-colored vertex (coordinate collisions); the
-	// pair table overrides the interval lookup.
+	// pair table overrides the interval lookup. Built and v1-loaded indexes
+	// use the maps; flat-loaded (zero-copy) ones keep the on-disk form
+	// instead — per-source runs of (target, color) pairs sorted by target,
+	// delimited by excOff and searched binarily in exceptionColor — so
+	// loading never materializes per-entry heap state.
 	exceptions []map[graph.VertexID]uint8
+	excOff     []int64
+	excTarget  []int32
+	excColor   []uint8
 
 	// code[v] is the Morton code of v.
 	code []uint32
@@ -335,12 +342,39 @@ func (b *sourceBuilder) rec(src graph.VertexID, codeLo, codeSpan uint64, idxLo, 
 	}
 }
 
+// exceptionColor resolves a coordinate-collision override for the pair
+// (cur, target): from the exception map on built/v1-loaded indexes, by
+// binary search over the sorted flat runs on zero-copy loads.
+func (ix *Index) exceptionColor(cur, target graph.VertexID) (uint8, bool) {
+	if ix.exceptions != nil {
+		if exc := ix.exceptions[cur]; exc != nil {
+			c, ok := exc[target]
+			return c, ok
+		}
+		return 0, false
+	}
+	if ix.excOff == nil {
+		return 0, false
+	}
+	lo, hi := int(ix.excOff[cur]), int(ix.excOff[cur+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.excTarget[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(ix.excOff[cur+1]) && ix.excTarget[lo] == target {
+		return ix.excColor[lo], true
+	}
+	return 0, false
+}
+
 // lookup returns the first-hop adjacency slot from cur toward target.
 func (ix *Index) lookup(cur, target graph.VertexID) uint8 {
-	if exc := ix.exceptions[cur]; exc != nil {
-		if c, ok := exc[target]; ok {
-			return c
-		}
+	if c, ok := ix.exceptionColor(cur, target); ok {
+		return c
 	}
 	starts := ix.starts[cur]
 	if len(starts) == 0 {
@@ -452,13 +486,19 @@ func (ix *Index) SizeBytes() int64 {
 	var size int64
 	for v := range ix.starts {
 		size += int64(len(ix.starts[v]))*5 + 48
-		if exc := ix.exceptions[v]; exc != nil {
-			size += int64(len(exc)) * 16
+		if ix.exceptions != nil {
+			if exc := ix.exceptions[v]; exc != nil {
+				size += int64(len(exc)) * 16
+			}
 		}
 		if ix.minDist != nil {
 			size += int64(len(ix.minDist[v])) * 4
 		}
 	}
+	// Flat-loaded indexes keep the sorted-run exception form instead: 5
+	// bytes per entry, shared with the page cache when mapped.
+	size += int64(len(ix.excTarget)) * 5
+	size += int64(len(ix.excOff)) * 8
 	size += int64(len(ix.code)) * 4
 	size += int64(len(ix.order)) * 4
 	return size

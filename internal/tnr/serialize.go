@@ -1,6 +1,7 @@
 package tnr
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -15,15 +16,252 @@ import (
 // Serialization: TNR preprocessing dominates everything but SILC/PCPD
 // (Figure 6(b)), so the built tables can be persisted. The embedded
 // contraction hierarchy (used for fallback queries and shared
-// preprocessing) is stored inline as a length-prefixed section.
+// preprocessing) is stored inline.
+//
+// Save writes the flat v2 container: the access-node distance tables —
+// the multi-GB part of a continental index — are 64-byte-aligned sections
+// a loader can mmap and use in place; ragged per-vertex/per-cell rows are
+// stored as offsets + concatenated data and rebuilt as views (one slice-
+// header allocation per ragged array, no data copies). The embedded CH is
+// a nested flat container inside a byte section, so it too loads zero-
+// copy. SaveV1 keeps the legacy length-prefixed stream; ReadIndex accepts
+// both.
 
 const (
 	tnrMagic   = "ROADNET-TNR\n"
 	tnrVersion = 1
 )
 
-// Save serializes the index, including its contraction hierarchy.
+// Fourcc tags a flat container holding a TNR index.
+const Fourcc uint32 = 'T' | 'N'<<8 | 'R'<<16 | ' '<<24
+
+// Save serializes the index, including its contraction hierarchy, in the
+// flat v2 format.
 func (ix *Index) Save(w io.Writer) error {
+	fw := binio.NewFlatWriter(Fourcc)
+	mw := fw.Meta()
+	mw.Magic(tnrMagic)
+	mw.I64(int64(ix.g.NumVertices()))
+	mw.I64(int64(ix.g.NumEdges()))
+	mw.I32(int32(ix.opts.GridSize))
+	mw.U8(boolByte(ix.opts.Hybrid))
+	mw.U8(uint8(ix.opts.Fallback))
+	mw.U8(uint8(ix.opts.Access))
+	mw.I64(ix.buildTime.Nanoseconds())
+
+	var chBuf bytes.Buffer
+	if err := ix.hierarchy.Save(&chBuf); err != nil {
+		return err
+	}
+	fw.U8Section(chBuf.Bytes())
+
+	addLayer(fw, mw, ix.coarse)
+	if ix.opts.Hybrid {
+		addLayer(fw, mw, ix.fine)
+	}
+	_, err := fw.WriteTo(w)
+	return err
+}
+
+// addLayer appends one layer as ten fixed-position sections (unused table
+// forms stay empty) plus a density flag in the metadata blob.
+func addLayer(fw *binio.FlatWriter, mw *binio.Writer, l *layer) {
+	mw.U8(boolByte(l.table != nil))
+	fw.I32Section(l.anList)
+	fw.I32Section(l.cellOf)
+	cellOff, cellData := binio.Flatten(l.cellAN)
+	fw.I64Section(cellOff)
+	fw.I32Section(cellData)
+	vaOff, vaData := binio.Flatten(l.vaDist)
+	fw.I64Section(vaOff)
+	fw.I32Section(vaData)
+	fw.I32Section(l.table)
+	var sparseOff []int64
+	var partnerData, distData []int32
+	if l.table == nil {
+		sparseOff, partnerData = binio.Flatten(l.sparsePartner)
+		_, distData = binio.Flatten(l.sparseDist)
+	}
+	fw.I64Section(sparseOff)
+	fw.I32Section(partnerData)
+	fw.I32Section(distData)
+}
+
+// ReadIndex deserializes an index written with Save (v2) or SaveV1,
+// re-attaching it to g (the same network it was built on). This is the
+// copying stream path; use core.LoadIndexFile for the zero-copy mmap path.
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReader(r)
+	if prefix, err := br.Peek(len(binio.FlatMagic)); err == nil && binio.IsFlat(prefix) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("tnr: reading index: %w", err)
+		}
+		f, err := binio.ParseFlat(data, true)
+		if err != nil {
+			return nil, fmt.Errorf("tnr: %w", err)
+		}
+		return IndexFromFlat(f, g)
+	}
+	return readIndexV1(br, g)
+}
+
+// IndexFromFlat builds an index over the sections of f. The index aliases
+// f's data; f must stay open for its lifetime.
+func IndexFromFlat(f *binio.FlatFile, g *graph.Graph) (*Index, error) {
+	if f.Fourcc() != Fourcc {
+		return nil, fmt.Errorf("tnr: flat container fourcc %#x is not a TNR index", f.Fourcc())
+	}
+	mr := f.Meta()
+	mr.Magic(tnrMagic)
+	n := mr.I64()
+	m := mr.I64()
+	var opts Options
+	opts.GridSize = int(mr.I32())
+	opts.Hybrid = mr.U8() != 0
+	opts.Fallback = Fallback(mr.U8())
+	opts.Access = AccessAlgorithm(mr.U8())
+	buildTime := time.Duration(mr.I64())
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("tnr: reading header: %w", err)
+	}
+	if n != int64(g.NumVertices()) || m != int64(g.NumEdges()) {
+		return nil, fmt.Errorf("tnr: index was built for a %dx%d graph, got %dx%d",
+			n, m, g.NumVertices(), g.NumEdges())
+	}
+	if opts.GridSize < 1 || opts.GridSize > 1<<14 {
+		return nil, fmt.Errorf("tnr: implausible grid size %d", opts.GridSize)
+	}
+
+	chFile, err := f.NestedFlat(0)
+	if err != nil {
+		return nil, fmt.Errorf("tnr: embedded hierarchy: %w", err)
+	}
+	h, err := ch.HierarchyFromFlat(chFile, g)
+	if err != nil {
+		return nil, fmt.Errorf("tnr: embedded hierarchy: %w", err)
+	}
+	opts.Hierarchy = h
+
+	ix := &Index{
+		g:         g,
+		opts:      opts,
+		hierarchy: h,
+		buildTime: buildTime,
+	}
+	if ix.coarse, err = layerFromFlat(f, mr, g, opts.GridSize, 1); err != nil {
+		return nil, err
+	}
+	if opts.Hybrid {
+		if ix.fine, err = layerFromFlat(f, mr, g, opts.GridSize*2, 11); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// layerFromFlat rebuilds a layer from the ten sections starting at base.
+// The outer slices of the ragged tables are views into the (possibly
+// mapped) data sections: one header allocation each, no element copies or
+// scans, so a mapped load touches no data pages.
+func layerFromFlat(f *binio.FlatFile, mr *binio.Reader, g *graph.Graph, gridSize, base int) (*layer, error) {
+	dense := mr.U8()
+	if err := mr.Err(); err != nil {
+		return nil, fmt.Errorf("tnr: reading layer header: %w", err)
+	}
+	l := &layer{grid: geom.NewGrid(g.Bounds(), gridSize, gridSize)}
+	fail := func(err error) (*layer, error) { return nil, fmt.Errorf("tnr: reading layer: %w", err) }
+	var err error
+	if l.anList, err = f.I32(base); err != nil {
+		return fail(err)
+	}
+	if l.cellOf, err = f.I32(base + 1); err != nil {
+		return fail(err)
+	}
+	if len(l.cellOf) != g.NumVertices() {
+		return nil, fmt.Errorf("%w: tnr cellOf sized for a different graph", binio.ErrCorrupt)
+	}
+	cellOff, err := f.I64(base + 2)
+	if err != nil {
+		return fail(err)
+	}
+	cellData, err := f.I32(base + 3)
+	if err != nil {
+		return fail(err)
+	}
+	if int64(len(cellOff)-1) != int64(l.grid.NumCells()) {
+		return nil, fmt.Errorf("tnr: layer has %d cells, grid expects %d", len(cellOff)-1, l.grid.NumCells())
+	}
+	if l.cellAN, err = binio.Unflatten(cellOff, cellData); err != nil {
+		return fail(err)
+	}
+	vaOff, err := f.I64(base + 4)
+	if err != nil {
+		return fail(err)
+	}
+	vaData, err := f.I32(base + 5)
+	if err != nil {
+		return fail(err)
+	}
+	if len(vaOff)-1 != g.NumVertices() {
+		return nil, fmt.Errorf("tnr: vaDist has %d rows, graph has %d vertices", len(vaOff)-1, g.NumVertices())
+	}
+	if l.vaDist, err = binio.Unflatten(vaOff, vaData); err != nil {
+		return fail(err)
+	}
+	if dense != 0 {
+		if l.table, err = f.I32(base + 6); err != nil {
+			return fail(err)
+		}
+		if l.table == nil {
+			// Preserve the dense marker (anPairDist branches on table != nil)
+			// even for a degenerate layer with no access nodes.
+			l.table = []int32{}
+		}
+		if len(l.table) != len(l.anList)*len(l.anList) {
+			return nil, fmt.Errorf("tnr: dense table size %d does not match %d access nodes",
+				len(l.table), len(l.anList))
+		}
+	} else {
+		sparseOff, err := f.I64(base + 7)
+		if err != nil {
+			return fail(err)
+		}
+		partnerData, err := f.I32(base + 8)
+		if err != nil {
+			return fail(err)
+		}
+		distData, err := f.I32(base + 9)
+		if err != nil {
+			return fail(err)
+		}
+		if len(sparseOff)-1 != len(l.anList) {
+			return nil, fmt.Errorf("tnr: sparse table rows %d do not match %d access nodes",
+				len(sparseOff)-1, len(l.anList))
+		}
+		if len(partnerData) != len(distData) {
+			return nil, fmt.Errorf("%w: tnr sparse partner/distance sections differ in length", binio.ErrCorrupt)
+		}
+		if l.sparsePartner, err = binio.Unflatten(sparseOff, partnerData); err != nil {
+			return fail(err)
+		}
+		if l.sparseDist, err = binio.Unflatten(sparseOff, distData); err != nil {
+			return fail(err)
+		}
+	}
+	return l, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SaveV1 serializes the index in the legacy length-prefixed v1 format.
+// New deployments should prefer Save.
+func (ix *Index) SaveV1(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Magic(tnrMagic)
 	bw.U8(tnrVersion)
@@ -36,26 +274,19 @@ func (ix *Index) Save(w io.Writer) error {
 	bw.I64(ix.buildTime.Nanoseconds())
 
 	var chBuf bytes.Buffer
-	if err := ix.hierarchy.Save(&chBuf); err != nil {
+	if err := ix.hierarchy.SaveV1(&chBuf); err != nil {
 		return err
 	}
 	bw.U8Slice(chBuf.Bytes())
 
-	writeLayer(bw, ix.coarse)
+	writeLayerV1(bw, ix.coarse)
 	if ix.opts.Hybrid {
-		writeLayer(bw, ix.fine)
+		writeLayerV1(bw, ix.fine)
 	}
 	return bw.Flush()
 }
 
-func boolByte(b bool) uint8 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func writeLayer(bw *binio.Writer, l *layer) {
+func writeLayerV1(bw *binio.Writer, l *layer) {
 	bw.I32Slice(l.anList)
 	bw.I64(int64(len(l.cellAN)))
 	for _, ans := range l.cellAN {
@@ -78,13 +309,13 @@ func writeLayer(bw *binio.Writer, l *layer) {
 	}
 }
 
-// ReadIndex deserializes an index written with Save, re-attaching it to
-// g (the same network it was built on).
-func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+// readIndexV1 decodes the legacy length-prefixed format.
+func readIndexV1(r io.Reader, g *graph.Graph) (*Index, error) {
 	br := binio.NewReader(r)
 	br.Magic(tnrMagic)
 	if v := br.U8(); br.Err() == nil && v != tnrVersion {
-		return nil, fmt.Errorf("tnr: unsupported format version %d", v)
+		return nil, fmt.Errorf("tnr: unsupported format version %d (this reader supports v%d and the v%d flat container)",
+			v, tnrVersion, binio.FlatVersion)
 	}
 	n := br.I64()
 	m := br.I64()
@@ -117,11 +348,11 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		hierarchy: h,
 		buildTime: buildTime,
 	}
-	if ix.coarse, err = readLayer(br, g, opts.GridSize); err != nil {
+	if ix.coarse, err = readLayerV1(br, g, opts.GridSize); err != nil {
 		return nil, err
 	}
 	if opts.Hybrid {
-		if ix.fine, err = readLayer(br, g, opts.GridSize*2); err != nil {
+		if ix.fine, err = readLayerV1(br, g, opts.GridSize*2); err != nil {
 			return nil, err
 		}
 	}
@@ -131,7 +362,7 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	return ix, nil
 }
 
-func readLayer(br *binio.Reader, g *graph.Graph, gridSize int) (*layer, error) {
+func readLayerV1(br *binio.Reader, g *graph.Graph, gridSize int) (*layer, error) {
 	n := g.NumVertices()
 	l := &layer{
 		grid:   geom.NewGrid(g.Bounds(), gridSize, gridSize),

@@ -88,6 +88,7 @@ import (
 
 	"roadnet/internal/alt"
 	"roadnet/internal/arcflags"
+	"roadnet/internal/binio"
 	"roadnet/internal/ch"
 	"roadnet/internal/core"
 	"roadnet/internal/gen"
@@ -191,9 +192,49 @@ func NewIndex(method Method, g *Graph, cfg Config) (Index, error) {
 func SaveIndex(idx Index, w io.Writer) error { return core.SaveIndex(idx, w) }
 
 // LoadIndex deserializes an index of the given method, re-attaching it to
-// g — the same network it was built on.
+// g — the same network it was built on. This is the copying stream path;
+// LoadIndexFile adds the zero-copy mmap path for files.
 func LoadIndex(method Method, r io.Reader, g *Graph) (Index, error) {
 	return core.LoadIndex(method, r, g)
+}
+
+// LoadInfo describes how LoadIndexFile brought an index off disk: the load
+// mode (mmap, heap flat, legacy v1 stream), the on-disk size and the load
+// duration, for startup logging.
+type LoadInfo = core.LoadInfo
+
+// MmapSupported reports whether this platform has the zero-copy mmap load
+// path (Linux and macOS). Elsewhere LoadIndexFile silently falls back to
+// heap loads.
+const MmapSupported = binio.MmapSupported
+
+// LoadIndexFile loads an index from a file. Flat v2 files (written by
+// SaveIndex) are mapped when preferMmap is set and the platform supports
+// it: the index arrays alias the page cache, making startup O(#sections)
+// with near-zero allocations regardless of index size. Legacy v1 files
+// load through the copying path. Call CloseIndex to release a mapping.
+func LoadIndexFile(method Method, path string, g *Graph, preferMmap bool) (Index, LoadInfo, error) {
+	return core.LoadIndexFile(method, path, g, preferMmap)
+}
+
+// CloseIndex releases the file mapping behind an index loaded by
+// LoadIndexFile. The index must not be used afterwards. It is a no-op for
+// built or stream-loaded indexes, so it may be deferred unconditionally.
+func CloseIndex(idx Index) error { return core.CloseIndex(idx) }
+
+// SaveGraph writes g's CSR arrays as a flat v2 container, so deployments
+// can parse DIMACS text once and map the binary form at every startup.
+func SaveGraph(w io.Writer, g *Graph) error { return g.Save(w) }
+
+// LoadGraph reads a graph written by SaveGraph from a stream (copying
+// path; see LoadGraphFile for the zero-copy path).
+func LoadGraph(r io.Reader) (*Graph, error) { return graph.ReadGraph(r) }
+
+// LoadGraphFile maps (or, with preferMmap false or where unsupported,
+// reads) a graph file written by SaveGraph. A mapped graph's arrays alias
+// the page cache; call Close on the graph when it is retired.
+func LoadGraphFile(path string, preferMmap bool) (*Graph, error) {
+	return graph.LoadFile(path, preferMmap)
 }
 
 // GenParams configures the synthetic road-network generator.
