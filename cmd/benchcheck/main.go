@@ -25,7 +25,12 @@
 //     concurrency win even across runner changes. The same rule applies to
 //     BenchmarkIndexLoadHeap / BenchmarkIndexLoadMmap (load_speedup): mmap
 //     loads must stay an order of magnitude cheaper than heap loads, or the
-//     zero-copy path has regressed into copying.
+//     zero-copy path has regressed into copying. And to
+//     BenchmarkBatchRouteMaterialized / BenchmarkBatchRouteStreamed
+//     (batch_route_alloc_ratio), compared by B/op instead of ns/op: a
+//     streamed batch-route request must keep allocating far less than the
+//     materialize-then-encode equivalent, or path streaming has regressed
+//     into buffering whole matrices again.
 //
 // Use benchstat alongside for the human-readable comparison table; this
 // tool only decides pass/fail.
@@ -46,7 +51,9 @@ import (
 // benchLine matches one result line of `go test -bench` output, e.g.
 //
 //	BenchmarkPoolDistanceCH-4   50000   30123 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+//
+// The B/op group is present only when the benchmark reports allocations.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?`)
 
 // The benchmark pair whose ratio is the machine-independent scaling gate.
 const (
@@ -60,6 +67,16 @@ const (
 	mmapLoadBench = "BenchmarkIndexLoadMmap"
 )
 
+// The benchmark pair whose B/op ratio gates batch-route streaming:
+// materialized/streamed bytes allocated per request over the same long-path
+// matrix. The ratio is machine-independent (allocation sizes, not speeds),
+// so it guards "resident memory bounded independent of path length" across
+// runner changes.
+const (
+	materializedRouteBench = "BenchmarkBatchRouteMaterialized"
+	streamedRouteBench     = "BenchmarkBatchRouteStreamed"
+)
+
 // baseline is the committed reference file.
 type baseline struct {
 	Note       string             `json:"note,omitempty"`
@@ -70,6 +87,10 @@ type baseline struct {
 	// LoadSpeedup is heap/mmap median index-load ns/op — the zero-copy win
 	// of mmap'd flat files over heap loads of the same file.
 	LoadSpeedup float64 `json:"load_speedup,omitempty"`
+	// AllocRatio is materialized/streamed median B/op of one long-path
+	// batch-route request — the bounded-residency win of streaming paths
+	// through a PathIterator instead of materializing the matrix.
+	AllocRatio float64 `json:"batch_route_alloc_ratio,omitempty"`
 }
 
 func main() {
@@ -78,7 +99,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	flag.Parse()
 
-	samples, err := parseFiles(flag.Args())
+	samples, byteSamples, err := parseFiles(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
@@ -89,11 +110,16 @@ func main() {
 	for name, ns := range samples {
 		medians[name] = median(ns)
 	}
+	byteMedians := make(map[string]float64, len(byteSamples))
+	for name, bs := range byteSamples {
+		byteMedians[name] = median(bs)
+	}
 	speedup := speedupOf(medians)
 	loadSpeedup := ratioOf(medians, heapLoadBench, mmapLoadBench)
+	allocRatio := ratioOf(byteMedians, materializedRouteBench, streamedRouteBench)
 
 	if *update {
-		if err := writeBaseline(*baselinePath, medians, speedup, loadSpeedup); err != nil {
+		if err := writeBaseline(*baselinePath, medians, speedup, loadSpeedup, allocRatio); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchcheck: wrote %s with %d benchmarks\n", *baselinePath, len(medians))
@@ -104,7 +130,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(base, medians, speedup, loadSpeedup, *threshold)
+	failures := compare(base, medians, speedup, loadSpeedup, allocRatio, *threshold)
 	names := make([]string, 0, len(medians))
 	for name := range medians {
 		names = append(names, name)
@@ -125,6 +151,9 @@ func main() {
 	if loadSpeedup > 0 {
 		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "load speedup (heap/mmap)", loadSpeedup, base.LoadSpeedup)
 	}
+	if allocRatio > 0 {
+		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "batch route alloc ratio (materialized/streamed)", allocRatio, base.AllocRatio)
+	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL")
 		for _, f := range failures {
@@ -136,7 +165,7 @@ func main() {
 }
 
 // compare returns one message per gate violation.
-func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, threshold float64) []string {
+func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, allocRatio, threshold float64) []string {
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -164,6 +193,11 @@ func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, t
 		failures = append(failures, fmt.Sprintf(
 			"load speedup %.2fx fell more than %.0f%% below baseline %.2fx — the mmap load path lost its zero-copy advantage",
 			loadSpeedup, 100*threshold, base.LoadSpeedup))
+	}
+	if base.AllocRatio > 0 && allocRatio > 0 && allocRatio < base.AllocRatio*(1-threshold) {
+		failures = append(failures, fmt.Sprintf(
+			"batch route alloc ratio %.2fx fell more than %.0f%% below baseline %.2fx — the streamed handler is materializing paths again",
+			allocRatio, 100*threshold, base.AllocRatio))
 	}
 	return failures
 }
@@ -238,8 +272,11 @@ func splitCPU(name string) (string, int) {
 	return name[:i], cpu
 }
 
-func parseFiles(paths []string) (map[string][]float64, error) {
+// parseFiles collects ns/op samples per benchmark, plus B/op samples for
+// the benchmarks that report allocations (the alloc-ratio gate's input).
+func parseFiles(paths []string) (map[string][]float64, map[string][]float64, error) {
 	samples := make(map[string][]float64)
+	byteSamples := make(map[string][]float64)
 	read := func(f *os.File) error {
 		sc := bufio.NewScanner(f)
 		for sc.Scan() {
@@ -249,28 +286,35 @@ func parseFiles(paths []string) (map[string][]float64, error) {
 					return fmt.Errorf("parsing %q: %w", sc.Text(), err)
 				}
 				samples[m[1]] = append(samples[m[1]], ns)
+				if m[3] != "" {
+					bs, err := strconv.ParseFloat(m[3], 64)
+					if err != nil {
+						return fmt.Errorf("parsing %q: %w", sc.Text(), err)
+					}
+					byteSamples[m[1]] = append(byteSamples[m[1]], bs)
+				}
 			}
 		}
 		return sc.Err()
 	}
 	if len(paths) == 0 {
 		if err := read(os.Stdin); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return samples, nil
+		return samples, byteSamples, nil
 	}
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		err = read(f)
 		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return samples, nil
+	return samples, byteSamples, nil
 }
 
 func median(xs []float64) float64 {
@@ -295,17 +339,20 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func writeBaseline(path string, medians map[string]float64, speedup, loadSpeedup float64) error {
+func writeBaseline(path string, medians map[string]float64, speedup, loadSpeedup, allocRatio float64) error {
 	b := baseline{
 		Note: "Median ns/op per benchmark from `go test -bench -cpu 4 -count 5`, " +
 			"compared by cmd/benchcheck with a fractional threshold. Absolute numbers are " +
 			"machine-specific: refresh with `go run ./cmd/benchcheck -update` output when the " +
-			"CI runner class changes. parallel_speedup (serialized/parallel server throughput) " +
-			"and load_speedup (heap/mmap index load) are machine-independent ratios guarding " +
-			"the multi-core scaling of the searcher pool and the zero-copy mmap load path.",
+			"CI runner class changes. parallel_speedup (serialized/parallel server throughput), " +
+			"load_speedup (heap/mmap index load) and batch_route_alloc_ratio " +
+			"(materialized/streamed batch-route B/op) are machine-independent ratios guarding " +
+			"the multi-core scaling of the searcher pool, the zero-copy mmap load path and the " +
+			"bounded residency of batch-route streaming.",
 		Benchmarks:      medians,
 		ParallelSpeedup: speedup,
 		LoadSpeedup:     loadSpeedup,
+		AllocRatio:      allocRatio,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

@@ -25,7 +25,7 @@
 // and pre-warmed (-prewarm builds N searchers before the listener opens, so
 // the first request burst does not pay N allocations).
 //
-// API:
+// API (see docs/API.md for the full contract):
 //
 //	GET  /v1/distance?from=ID&to=ID
 //	GET  /v1/route?from=ID&to=ID
@@ -34,8 +34,13 @@
 //	POST /v1/batch/distance            {"sources":[...],"targets":[...]}
 //	POST /v1/batch/route               {"sources":[...],"targets":[...]}
 //
-// Request contexts are propagated into every query, so disconnected
-// clients stop consuming CPU mid-search.
+// Batch routes are streamed row-by-row from lazy path iterators, so the
+// server's resident memory is bounded regardless of path length and
+// matrix size; with "Accept: application/x-ndjson" the response arrives
+// as newline-delimited cells instead of one JSON document. A per-request
+// total-vertex budget (-route-vertex-budget) caps how much path data one
+// request may produce. Request contexts are propagated into every query,
+// so disconnected clients stop consuming CPU mid-search.
 package main
 
 import (
@@ -53,16 +58,17 @@ import (
 
 func main() {
 	var (
-		preset    = flag.String("preset", "", "Table 1 dataset preset name")
-		grPath    = flag.String("gr", "", "DIMACS .gr file")
-		coPath    = flag.String("co", "", "DIMACS .co file")
-		method    = flag.String("method", "ch", "technique: dijkstra, ch, tnr, silc, pcpd, alt, arcflags")
-		indexPath = flag.String("index", "", "index file: load if present, else build and save (ch/tnr/silc)")
-		graphPath = flag.String("graph", "", "binary graph file: load if present, else parse -preset/-gr/-co and save")
-		useMmap   = flag.Bool("mmap", roadnet.MmapSupported, "mmap flat index/graph files instead of reading them onto the heap")
-		addr      = flag.String("addr", ":8080", "listen address")
-		poolMax   = flag.Int("pool-max", 0, "cap on live searchers (0 = unbounded); requests block when all are busy")
-		prewarm   = flag.Int("prewarm", runtime.GOMAXPROCS(0), "searchers to build before serving, so the first burst pays no allocations (guaranteed to stay warm only with -pool-max; unbounded pools may drop idle searchers at GC)")
+		preset      = flag.String("preset", "", "Table 1 dataset preset name")
+		grPath      = flag.String("gr", "", "DIMACS .gr file")
+		coPath      = flag.String("co", "", "DIMACS .co file")
+		method      = flag.String("method", "ch", "technique: dijkstra, ch, tnr, silc, pcpd, alt, arcflags")
+		indexPath   = flag.String("index", "", "index file: load if present, else build and save (ch/tnr/silc)")
+		graphPath   = flag.String("graph", "", "binary graph file: load if present, else parse -preset/-gr/-co and save")
+		useMmap     = flag.Bool("mmap", roadnet.MmapSupported, "mmap flat index/graph files instead of reading them onto the heap")
+		addr        = flag.String("addr", ":8080", "listen address")
+		poolMax     = flag.Int("pool-max", 0, "cap on live searchers (0 = unbounded); requests block when all are busy")
+		prewarm     = flag.Int("prewarm", runtime.GOMAXPROCS(0), "searchers to build before serving, so the first burst pays no allocations (guaranteed to stay warm only with -pool-max; unbounded pools may drop idle searchers at GC)")
+		routeBudget = flag.Int64("route-vertex-budget", server.DefaultBatchRouteVertexBudget, "max total path vertices one batch-route request may stream (JSON responses over budget get 413; NDJSON responses truncate in-band)")
 	)
 	flag.Parse()
 
@@ -94,7 +100,8 @@ func main() {
 		fmt.Println()
 	}
 
-	srv := server.New(g, idx, server.WithPool(pool))
+	srv := server.New(g, idx, server.WithPool(pool),
+		server.WithBatchRouteVertexBudget(*routeBudget))
 	fmt.Printf("listening on %s, serving concurrently on up to %d cores\n", *addr, runtime.GOMAXPROCS(0))
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

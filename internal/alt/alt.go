@@ -59,6 +59,12 @@ type Searcher struct {
 	cur         uint32
 	heap        *pq.Heap
 	settledLast int
+
+	// pathBuf and pathIter are the searcher-owned scratch behind OpenPath
+	// and the path collector: the parent walk is assembled into pathBuf
+	// (reused across queries) and streamed from pathIter.
+	pathBuf  []graph.VertexID
+	pathIter graph.SlicePath
 }
 
 // NewSearcher returns a fresh query context sharing ix's immutable
@@ -237,13 +243,34 @@ func (s *Searcher) DistanceContext(ctx context.Context, src, t graph.VertexID) (
 	return s.dist[t], nil
 }
 
-// ShortestPathContext is ShortestPath with cancellation (see runCtx).
+// ShortestPathContext is ShortestPath with cancellation (see runCtx). It
+// is a thin collector over OpenPath: the iterator is drained into a fresh
+// caller-owned slice.
 func (s *Searcher) ShortestPathContext(ctx context.Context, src, t graph.VertexID) ([]graph.VertexID, int64, error) {
+	it, d, err := s.OpenPath(ctx, src, t)
+	if err != nil || it == nil {
+		return nil, graph.Infinity, err
+	}
+	path, err := graph.AppendPath(make([]graph.VertexID, 0, len(s.pathBuf)), it)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	return path, d, nil
+}
+
+// OpenPath runs the A* query and returns a PathIterator over the shortest
+// path plus its length, or (nil, Infinity, nil) when t is unreachable. The
+// parent walk is assembled into searcher-owned scratch, so streaming a
+// path allocates nothing in steady state; the iterator is invalidated by
+// this searcher's next query.
+func (s *Searcher) OpenPath(ctx context.Context, src, t graph.VertexID) (graph.PathIterator, int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, graph.Infinity, err
 	}
 	if src == t {
-		return []graph.VertexID{src}, 0, nil
+		s.pathBuf = append(s.pathBuf[:0], src)
+		s.pathIter.Reset(s.pathBuf)
+		return &s.pathIter, 0, nil
 	}
 	found, err := s.runCtx(ctx, src, t)
 	if err != nil {
@@ -252,14 +279,16 @@ func (s *Searcher) ShortestPathContext(ctx context.Context, src, t graph.VertexI
 	if !found {
 		return nil, graph.Infinity, nil
 	}
-	var rev []graph.VertexID
+	rev := s.pathBuf[:0]
 	for v := t; v >= 0; v = graph.VertexID(s.parent[v]) {
 		rev = append(rev, v)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
-	return rev, s.dist[t], nil
+	s.pathBuf = rev
+	s.pathIter.Reset(rev)
+	return &s.pathIter, s.dist[t], nil
 }
 
 // SettledLast reports the vertices settled by the last query.

@@ -1,0 +1,132 @@
+package ch
+
+import (
+	"context"
+
+	"roadnet/internal/cancel"
+	"roadnet/internal/graph"
+)
+
+// hopFrame is one pending shortcut segment (u, w) of the unpack stack.
+type hopFrame struct{ u, w graph.VertexID }
+
+// unpackIter lazily expands the augmented (shortcut-level) path of the
+// last upward search into original-graph vertices. The augmented path is
+// short — one hop per shortcut level, bounded by the search depth — but
+// its expansion can be thousands of vertices, so the expansion is the part
+// worth streaming: shortcuts are split through their middle-vertex tags on
+// demand with an explicit stack, in the pre-order of §3.2's recursive
+// expansion (c1 -> (v3,v1),(v1,v8)). The stack holds one frame per
+// unexpanded level, so resident state is O(shortcut nesting depth), not
+// O(path length).
+type unpackIter struct {
+	h   *Hierarchy
+	ctx context.Context
+	aug []graph.VertexID
+	hop int // next augmented hop to expand
+
+	stack   []hopFrame
+	started bool
+	emitted int
+	err     error
+	done    bool
+}
+
+// Next implements graph.PathIterator, polling ctx every cancel.Interval
+// emitted vertices.
+func (it *unpackIter) Next() (graph.VertexID, bool) {
+	if it.done {
+		return 0, false
+	}
+	if !it.started {
+		it.started = true
+		it.emitted++
+		return it.aug[0], true
+	}
+	for {
+		if len(it.stack) == 0 {
+			if it.hop+1 >= len(it.aug) {
+				it.done = true
+				return 0, false
+			}
+			it.stack = append(it.stack, hopFrame{it.aug[it.hop], it.aug[it.hop+1]})
+			it.hop++
+		}
+		f := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		if middle, ok := it.h.middleOf(f.u, f.w); ok && middle >= 0 {
+			// Shortcut: expand (u, mid) before (mid, w), so push in reverse.
+			it.stack = append(it.stack,
+				hopFrame{graph.VertexID(middle), f.w},
+				hopFrame{f.u, graph.VertexID(middle)})
+			continue
+		}
+		// Original edge: emit its head.
+		if err := cancel.Poll(it.ctx, it.emitted); err != nil {
+			it.err = err
+			it.done = true
+			return 0, false
+		}
+		it.emitted++
+		return f.w, true
+	}
+}
+
+// Err implements graph.PathIterator.
+func (it *unpackIter) Err() error { return it.err }
+
+// OpenPath runs the upward search and returns a PathIterator over the
+// exact shortest path in the original graph (shortcuts unpacked lazily)
+// plus its length, or (nil, Infinity, nil) when t is unreachable. The
+// iterator reads the searcher's parent arrays and scratch buffers and is
+// invalidated by this searcher's next query.
+func (s *Searcher) OpenPath(ctx context.Context, from, to graph.VertexID) (graph.PathIterator, int64, error) {
+	if err := s.runCtx(ctx, from, to); err != nil {
+		return nil, graph.Infinity, err
+	}
+	return s.openPathFromLast(ctx, from, to)
+}
+
+// openPathFromLast builds the augmented path of the last run call into
+// searcher scratch and returns the lazy unpack iterator over it.
+func (s *Searcher) openPathFromLast(ctx context.Context, from, to graph.VertexID) (graph.PathIterator, int64, error) {
+	if s.lastMeet < 0 {
+		if from == to && s.lastDist == 0 {
+			return s.singleVertexIter(from), 0, nil
+		}
+		return nil, graph.Infinity, nil
+	}
+	if from == to {
+		return s.singleVertexIter(from), 0, nil
+	}
+	// Augmented path: from -> meet (side 0, reversed) then meet -> to.
+	up := s.upBuf[:0]
+	for v := s.lastMeet; v >= 0; v = s.parent[0][v] {
+		up = append(up, v)
+		if s.parent[0][v] < 0 {
+			break
+		}
+	}
+	s.upBuf = up
+	aug := s.augBuf[:0]
+	for i := len(up) - 1; i >= 0; i-- {
+		aug = append(aug, up[i])
+	}
+	for v := s.parent[1][s.lastMeet]; v >= 0; v = s.parent[1][v] {
+		aug = append(aug, v)
+		if s.parent[1][v] < 0 {
+			break
+		}
+	}
+	s.augBuf = aug
+	s.unpack = unpackIter{h: s.h, ctx: ctx, aug: aug, stack: s.unpack.stack[:0]}
+	return &s.unpack, s.lastDist, nil
+}
+
+// singleVertexIter returns an iterator over the trivial one-vertex path,
+// reusing searcher scratch.
+func (s *Searcher) singleVertexIter(v graph.VertexID) graph.PathIterator {
+	s.augBuf = append(s.augBuf[:0], v)
+	s.pathIter.Reset(s.augBuf)
+	return &s.pathIter
+}

@@ -42,6 +42,15 @@ type Searcher struct {
 	lastDist int64
 	// settledCount of the last query, for search-space statistics.
 	settledCount int
+
+	// Path-production scratch, reused across queries so streaming a path
+	// allocates nothing in steady state: upBuf holds the side-0 parent
+	// chain, augBuf the augmented (shortcut-level) path, unpack the lazy
+	// expansion iterator and pathIter the trivial single-vertex case.
+	upBuf    []graph.VertexID
+	augBuf   []graph.VertexID
+	unpack   unpackIter
+	pathIter graph.SlicePath
 }
 
 // NewSearcher returns a fresh query context for h.
@@ -189,69 +198,23 @@ func (s *Searcher) runCtx(ctx context.Context, from, to graph.VertexID) error {
 // ShortestPath returns the exact shortest path in the original graph
 // (shortcuts unpacked) and its length.
 func (s *Searcher) ShortestPath(from, to graph.VertexID) ([]graph.VertexID, int64) {
-	s.run(from, to)
-	return s.pathFromLast(from, to)
+	path, d, _ := s.ShortestPathContext(context.Background(), from, to)
+	return path, d
 }
 
 // ShortestPathContext is ShortestPath with cancellation (see
-// DistanceContext).
+// DistanceContext). It is a thin collector over OpenPath: the lazy unpack
+// iterator is drained into a fresh caller-owned slice.
 func (s *Searcher) ShortestPathContext(ctx context.Context, from, to graph.VertexID) ([]graph.VertexID, int64, error) {
-	if err := s.runCtx(ctx, from, to); err != nil {
+	it, d, err := s.OpenPath(ctx, from, to)
+	if err != nil || it == nil {
 		return nil, graph.Infinity, err
 	}
-	path, d := s.pathFromLast(from, to)
+	path, err := graph.AppendPath(make([]graph.VertexID, 0, 2*len(s.augBuf)), it)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
 	return path, d, nil
-}
-
-// pathFromLast reconstructs the unpacked path of the last run call.
-func (s *Searcher) pathFromLast(from, to graph.VertexID) ([]graph.VertexID, int64) {
-	if s.lastMeet < 0 {
-		if from == to && s.lastDist == 0 {
-			return []graph.VertexID{from}, 0
-		}
-		return nil, graph.Infinity
-	}
-	if from == to {
-		return []graph.VertexID{from}, 0
-	}
-	// Augmented path: from -> meet (side 0, reversed) then meet -> to.
-	var up []graph.VertexID
-	for v := s.lastMeet; v >= 0; v = s.parent[0][v] {
-		up = append(up, v)
-		if s.parent[0][v] < 0 {
-			break
-		}
-	}
-	augmented := make([]graph.VertexID, 0, 2*len(up))
-	for i := len(up) - 1; i >= 0; i-- {
-		augmented = append(augmented, up[i])
-	}
-	for v := s.parent[1][s.lastMeet]; v >= 0; v = s.parent[1][v] {
-		augmented = append(augmented, v)
-		if s.parent[1][v] < 0 {
-			break
-		}
-	}
-	// Unpack every hop of the augmented path into original edges.
-	path := make([]graph.VertexID, 0, len(augmented)*2)
-	path = append(path, augmented[0])
-	for i := 0; i+1 < len(augmented); i++ {
-		path = s.h.appendUnpacked(path, augmented[i], augmented[i+1])
-	}
-	return path, s.lastDist
-}
-
-// appendUnpacked appends the original-edge expansion of the hop (u, w) to
-// path (excluding u, including w). Shortcuts expand recursively through
-// their middle-vertex tags, exactly as §3.2 describes for c1 -> (v3,v1),(v1,v8).
-func (h *Hierarchy) appendUnpacked(path []graph.VertexID, u, w graph.VertexID) []graph.VertexID {
-	middle, ok := h.middleOf(u, w)
-	if !ok || middle < 0 {
-		// Original edge.
-		return append(path, w)
-	}
-	path = h.appendUnpacked(path, u, graph.VertexID(middle))
-	return h.appendUnpacked(path, graph.VertexID(middle), w)
 }
 
 // Distance is a convenience one-shot query allocating a transient Searcher.

@@ -23,6 +23,13 @@ type Bidirectional struct {
 	gen    [2][]uint32
 	cur    [2]uint32
 	heap   [2]*pq.Heap
+
+	// pathBuf and pathIter are the searcher-owned scratch behind OpenPath
+	// and the path collectors: the parent walk is assembled into pathBuf
+	// (reused across queries, so steady-state path production allocates
+	// nothing) and streamed from pathIter.
+	pathBuf  []graph.VertexID
+	pathIter graph.SlicePath
 }
 
 // NewBidirectional returns a reusable bidirectional searcher on g.
@@ -156,17 +163,20 @@ func (b *Bidirectional) QueryContext(ctx context.Context, s, t graph.VertexID) (
 	return Result{Dist: best, Meet: meet, Settled: settled}, nil
 }
 
-// Path reconstructs the s-t path of the last Query call from its Result.
-// It returns nil when the result was unreachable.
-func (b *Bidirectional) Path(r Result) []graph.VertexID {
+// fillPath assembles the s-t path of the last Query call into the
+// searcher-owned scratch buffer and returns it (nil when unreachable).
+// The slice is invalidated by the next path reconstruction.
+func (b *Bidirectional) fillPath(r Result) []graph.VertexID {
 	if r.Meet < 0 {
 		return nil
 	}
+	fwd := b.pathBuf[:0]
 	if !b.reached(0, r.Meet) {
 		// s == t query: the search never ran, the path is the single vertex.
-		return []graph.VertexID{r.Meet}
+		fwd = append(fwd, r.Meet)
+		b.pathBuf = fwd
+		return fwd
 	}
-	var fwd []graph.VertexID
 	for v := r.Meet; v >= 0; v = b.parent[0][v] {
 		fwd = append(fwd, v)
 		if b.parent[0][v] < 0 {
@@ -182,7 +192,35 @@ func (b *Bidirectional) Path(r Result) []graph.VertexID {
 			break
 		}
 	}
+	b.pathBuf = fwd
 	return fwd
+}
+
+// Path reconstructs the s-t path of the last Query call from its Result as
+// a caller-owned slice. It returns nil when the result was unreachable.
+func (b *Bidirectional) Path(r Result) []graph.VertexID {
+	scratch := b.fillPath(r)
+	if scratch == nil {
+		return nil
+	}
+	return append(make([]graph.VertexID, 0, len(scratch)), scratch...)
+}
+
+// OpenPath runs the query and returns a PathIterator over the shortest
+// path plus its length, or (nil, Infinity, nil) when t is unreachable. The
+// parent walk is assembled into searcher-owned scratch, so streaming a
+// path allocates nothing in steady state; the iterator is invalidated by
+// this searcher's next query.
+func (b *Bidirectional) OpenPath(ctx context.Context, s, t graph.VertexID) (graph.PathIterator, int64, error) {
+	r, err := b.QueryContext(ctx, s, t)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	if r.Dist >= graph.Infinity {
+		return nil, graph.Infinity, nil
+	}
+	b.pathIter.Reset(b.fillPath(r))
+	return &b.pathIter, r.Dist, nil
 }
 
 // Distance is a convenience wrapper returning only the distance.
@@ -206,13 +244,16 @@ func (b *Bidirectional) DistanceContext(ctx context.Context, s, t graph.VertexID
 }
 
 // ShortestPathContext is ShortestPath with cancellation (see QueryContext).
+// It is a thin collector over OpenPath: the iterator is drained into a
+// fresh caller-owned slice.
 func (b *Bidirectional) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
-	r, err := b.QueryContext(ctx, s, t)
+	it, d, err := b.OpenPath(ctx, s, t)
+	if err != nil || it == nil {
+		return nil, graph.Infinity, err
+	}
+	path, err := graph.AppendPath(make([]graph.VertexID, 0, len(b.pathBuf)), it)
 	if err != nil {
 		return nil, graph.Infinity, err
 	}
-	if r.Dist >= graph.Infinity {
-		return nil, graph.Infinity, nil
-	}
-	return b.Path(r), r.Dist, nil
+	return path, d, nil
 }

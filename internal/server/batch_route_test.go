@@ -155,12 +155,13 @@ func TestBatchLimits(t *testing.T) {
 		if !strings.Contains(resp.Error, "exceeds") {
 			t.Errorf("%s pair-count overflow: error = %q", endpoint, resp.Error)
 		}
-		// A body over the 256-byte cap dies in the JSON decoder.
+		// A body over the 256-byte cap is a too-large request, not bad
+		// JSON: it must answer 413 so clients know to shrink the batch.
 		big := batchBody(make([]graph.VertexID, 12), make([]graph.VertexID, 1))
 		if len(big) <= 256 {
 			big = `{"sources":[` + strings.Repeat("0,", 200) + `0],"targets":[0]}`
 		}
-		postJSON(t, ts.URL+endpoint, big, http.StatusBadRequest, &resp)
+		postJSON(t, ts.URL+endpoint, big, http.StatusRequestEntityTooLarge, &resp)
 		if resp.Error == "" {
 			t.Errorf("%s oversized body: missing error", endpoint)
 		}

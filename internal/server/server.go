@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -65,6 +66,13 @@ const (
 	DefaultMaxBatchBody       = 16 << 20
 )
 
+// DefaultBatchRouteVertexBudget caps the total number of path vertices one
+// batch route response may carry (~4M vertices is tens of MB of JSON). The
+// response is streamed, so the budget bounds bytes on the wire rather than
+// resident memory — resident memory is bounded by the stream buffer no
+// matter what. Override with WithBatchRouteVertexBudget.
+const DefaultBatchRouteVertexBudget = 1 << 22
+
 // statusClientClosedRequest is nginx's non-standard status for a request
 // aborted because the client went away; no client reads it, but it keeps
 // access logs and tests honest about why the query was cut short.
@@ -80,6 +88,7 @@ type Server struct {
 	maxBatchPairs      int
 	maxBatchRoutePairs int
 	maxBatchBody       int64
+	routeVertexBudget  int64
 }
 
 // Option configures New.
@@ -118,6 +127,18 @@ func WithBatchRouteLimit(maxPairs int) Option {
 	}
 }
 
+// WithBatchRouteVertexBudget overrides the total-vertex budget of one batch
+// route response. A request whose paths would exceed the budget is answered
+// 413 (JSON mode, when nothing has been sent yet) or truncated in-band with
+// a marker line (NDJSON mode). Values <= 0 keep the default.
+func WithBatchRouteVertexBudget(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.routeVertexBudget = n
+		}
+	}
+}
+
 // New returns a server for the given graph and index. The index is shared;
 // all per-query state comes from a searcher pool, so the handler serves any
 // number of requests concurrently.
@@ -129,6 +150,7 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 		maxBatchPairs:      DefaultMaxBatchPairs,
 		maxBatchRoutePairs: DefaultMaxBatchRoutePairs,
 		maxBatchBody:       DefaultMaxBatchBody,
+		routeVertexBudget:  DefaultBatchRouteVertexBudget,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -189,11 +211,16 @@ func (s *Server) vertexParam(r *http.Request, name string) (graph.VertexID, erro
 	return graph.VertexID(id), nil
 }
 
+// distanceResponse reports one distance query. Distance must not carry
+// omitempty: a from == to query answers a legitimate distance of 0, and
+// omitempty would drop the field from exactly that response, so clients
+// reading the raw JSON could not tell "zero" from "absent". Distance is
+// meaningful only when Reachable is true (it is 0 otherwise).
 type distanceResponse struct {
 	From      graph.VertexID `json:"from"`
 	To        graph.VertexID `json:"to"`
 	Reachable bool           `json:"reachable"`
-	Distance  int64          `json:"distance,omitempty"`
+	Distance  int64          `json:"distance"`
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -219,11 +246,14 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// routeResponse reports one path query. Distance has no omitempty for the
+// same reason as distanceResponse: a from == to route has distance 0 and
+// the field must still appear.
 type routeResponse struct {
 	From      graph.VertexID   `json:"from"`
 	To        graph.VertexID   `json:"to"`
 	Reachable bool             `json:"reachable"`
-	Distance  int64            `json:"distance,omitempty"`
+	Distance  int64            `json:"distance"`
 	Vertices  []graph.VertexID `json:"vertices,omitempty"`
 	Coords    [][2]int32       `json:"coords,omitempty"`
 }
@@ -292,7 +322,22 @@ func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request, maxPairs in
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBatchBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		// A body over the MaxBytesReader limit is not malformed JSON — it
+		// is a too-large request, and the status must say so (413, not 400)
+		// so clients know shrinking the batch will help.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{err.Error()})
+			return nil, nil, false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return nil, nil, false
+	}
+	// Decode stops at the end of the first JSON value; anything but EOF
+	// after it is trailing garbage (a second object, stray tokens), which
+	// a strict API must reject rather than silently ignore.
+	if _, err := dec.Token(); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: trailing data after request object"})
 		return nil, nil, false
 	}
 	// Cap each list as well as the product: a huge list paired with an
@@ -346,10 +391,13 @@ func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// batchRouteEntry is one cell of the batch route matrix.
+// batchRouteEntry is one cell of the batch route matrix. Distance has no
+// omitempty (see distanceResponse); the field order and tags here define
+// the wire shape the streaming writer of stream.go reproduces byte for
+// byte — change them together.
 type batchRouteEntry struct {
 	Reachable bool             `json:"reachable"`
-	Distance  int64            `json:"distance,omitempty"`
+	Distance  int64            `json:"distance"`
 	Vertices  []graph.VertexID `json:"vertices,omitempty"`
 }
 
@@ -363,11 +411,16 @@ type batchRouteResponse struct {
 
 // handleBatchRoute answers a sources x targets matrix of full shortest
 // paths in one request, under the same guards as batch distance but a
-// lower pair cap (route cells carry whole paths, not one int64). Paths are
-// computed per pair on one pooled searcher, so every cell is identical to
-// the corresponding sequential /v1/route answer; the request context is
-// polled inside every path query, aborting the batch mid-flight when the
-// client goes away.
+// lower pair cap (route cells carry whole paths, not one int64). Cells are
+// produced one lazy PathIterator at a time on one pooled searcher and
+// streamed straight into the response (see stream.go), so every cell is
+// bit-identical to the corresponding sequential /v1/route answer while
+// resident memory stays bounded by the stream buffer, independent of path
+// length and matrix size. Clients sending "Accept: application/x-ndjson"
+// get the row-by-row NDJSON framing instead of one JSON document; both
+// modes observe the total-vertex budget. The request context is polled
+// inside every path query, aborting the batch mid-flight when the client
+// goes away.
 func (s *Server) handleBatchRoute(w http.ResponseWriter, r *http.Request) {
 	sources, targets, ok := s.decodeBatch(w, r, s.maxBatchRoutePairs)
 	if !ok {
@@ -379,26 +432,11 @@ func (s *Server) handleBatchRoute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.pool.Put(sr)
-	routes := make([][]batchRouteEntry, len(sources))
-	for i, src := range sources {
-		row := make([]batchRouteEntry, len(targets))
-		for j, tgt := range targets {
-			path, d, err := sr.ShortestPathContext(r.Context(), src, tgt)
-			if err != nil {
-				writeAborted(w, err)
-				return
-			}
-			if path != nil {
-				row[j] = batchRouteEntry{Reachable: true, Distance: d, Vertices: path}
-			}
-		}
-		routes[i] = row
+	if wantsNDJSON(r) {
+		s.streamBatchRouteNDJSON(w, r, sr, sources, targets)
+		return
 	}
-	writeJSON(w, http.StatusOK, batchRouteResponse{
-		Sources: sources,
-		Targets: targets,
-		Routes:  routes,
-	})
+	s.streamBatchRouteJSON(w, r, sr, sources, targets)
 }
 
 type nearestResponse struct {

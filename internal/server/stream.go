@@ -1,0 +1,250 @@
+// Batch-route response streaming. Both response modes drain one lazy
+// core.PathIterator at a time into a fixed-size buffer, so serving a batch
+// of long paths keeps resident memory bounded by the buffer, not by path
+// length or matrix size:
+//
+//   - JSON mode writes the exact bytes json.Encoder would produce for
+//     batchRouteResponse (the shape of the pre-streaming implementation,
+//     trailing newline included), so clients cannot tell the difference.
+//   - NDJSON mode (Accept: application/x-ndjson) frames the same data as
+//     one JSON object per line: a header line with the echoed id lists,
+//     one line per matrix cell carrying its i/j indices, and a final
+//     status line — {"done":true} on success, or a {"truncated":...}
+//     marker when the stream was cut short, so a consumer always knows
+//     whether it saw the whole matrix.
+//
+// Error handling is two-phase. While the response still fits the buffer
+// nothing has been sent, and an aborted query is reported with a real
+// status (499/503 per writeAborted, 413 for a blown vertex budget). Once
+// the buffer has spilled the 200 header is on the wire: JSON mode then
+// aborts the connection (http.ErrAbortHandler), which is the only honest
+// signal a single-document format has left, while NDJSON mode stays
+// well-formed by closing the current cell with "truncated":true and
+// appending the marker line.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"roadnet/internal/core"
+	"roadnet/internal/graph"
+)
+
+// streamBufSize is the response buffer size. Small batches complete inside
+// the buffer (keeping real error statuses available); anything larger
+// streams through it with bounded residency.
+const streamBufSize = 32 << 10
+
+// errVertexBudget aborts a batch whose paths exceed the response budget.
+var errVertexBudget = errors.New("batch route response exceeds the vertex budget")
+
+// wantsNDJSON reports whether the client asked for the NDJSON framing.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// commitWriter passes writes through to the ResponseWriter and remembers
+// that it did: once committed, the status line is on the wire and error
+// reporting must switch to the in-band strategies described above.
+type commitWriter struct {
+	w         http.ResponseWriter
+	committed bool
+}
+
+func (c *commitWriter) Write(p []byte) (int, error) {
+	c.committed = true
+	return c.w.Write(p)
+}
+
+// routeStream is the shared streaming state of one batch-route response.
+type routeStream struct {
+	cw      commitWriter
+	bw      *bufio.Writer
+	budget  int64
+	scratch []byte
+}
+
+func (s *Server) newRouteStream(w http.ResponseWriter) *routeStream {
+	st := &routeStream{cw: commitWriter{w: w}, budget: s.routeVertexBudget}
+	st.bw = bufio.NewWriterSize(&st.cw, streamBufSize)
+	st.scratch = make([]byte, 0, 20)
+	return st
+}
+
+func (st *routeStream) writeString(s string) { _, _ = st.bw.WriteString(s) }
+func (st *routeStream) writeByte(b byte)     { _ = st.bw.WriteByte(b) }
+
+func (st *routeStream) writeInt(v int64) {
+	st.scratch = strconv.AppendInt(st.scratch[:0], v, 10)
+	_, _ = st.bw.Write(st.scratch)
+}
+
+// writeIDList writes a vertex id list with the exact bytes encoding/json
+// produces for []graph.VertexID (the lists come from vertexList and are
+// never nil, so the encoder would print [] for empty ones, as we do).
+func (st *routeStream) writeIDList(ids []graph.VertexID) {
+	st.writeByte('[')
+	for i, v := range ids {
+		if i > 0 {
+			st.writeByte(',')
+		}
+		st.writeInt(int64(v))
+	}
+	st.writeByte(']')
+}
+
+// abort reports err for a stream that has not committed any bytes: the
+// buffer is discarded and a real error status is written instead. The
+// caller must have checked !st.cw.committed.
+func (st *routeStream) abort(err error) {
+	st.bw.Reset(&st.cw)
+	if errors.Is(err, errVertexBudget) {
+		writeJSON(st.cw.w, http.StatusRequestEntityTooLarge, errorResponse{
+			err.Error() + "; request fewer pairs, or stream with Accept: application/x-ndjson"})
+		return
+	}
+	writeAborted(st.cw.w, err)
+}
+
+// streamCell drains one OpenPath iterator into the stream as a
+// batchRouteEntry object (byte-identical to its json.Marshal form). The
+// prefix parameter carries the NDJSON "i"/"j" members ("" in JSON mode).
+// It returns a non-nil error when the walk aborted or the budget ran out;
+// in NDJSON mode the cell object is then already closed with a
+// "truncated":true member, in JSON mode the document is left mid-array for
+// the caller to abandon.
+func (st *routeStream) streamCell(prefix string, it graph.PathIterator, d int64, ndjson bool) error {
+	st.writeByte('{')
+	st.writeString(prefix)
+	if it == nil {
+		st.writeString(`"reachable":false,"distance":0}`)
+		return nil
+	}
+	st.writeString(`"reachable":true,"distance":`)
+	st.writeInt(d)
+	st.writeString(`,"vertices":[`)
+	first := true
+	var fail error
+	for {
+		v, ok := it.Next()
+		if !ok {
+			fail = it.Err()
+			break
+		}
+		if st.budget <= 0 {
+			fail = errVertexBudget
+			break
+		}
+		st.budget--
+		if !first {
+			st.writeByte(',')
+		}
+		first = false
+		st.writeInt(int64(v))
+	}
+	if fail != nil && ndjson {
+		st.writeString(`],"truncated":true}`)
+		return fail
+	}
+	if fail != nil {
+		return fail
+	}
+	st.writeString("]}")
+	return nil
+}
+
+// streamBatchRouteJSON streams the classic single-document response.
+func (s *Server) streamBatchRouteJSON(w http.ResponseWriter, r *http.Request, sr core.Searcher, sources, targets []graph.VertexID) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.newRouteStream(w)
+	st.writeString(`{"sources":`)
+	st.writeIDList(sources)
+	st.writeString(`,"targets":`)
+	st.writeIDList(targets)
+	st.writeString(`,"routes":[`)
+	for i, src := range sources {
+		if i > 0 {
+			st.writeByte(',')
+		}
+		st.writeByte('[')
+		for j, tgt := range targets {
+			if j > 0 {
+				st.writeByte(',')
+			}
+			it, d, err := core.OpenPath(r.Context(), sr, src, tgt)
+			if err == nil {
+				err = st.streamCell("", it, d, false)
+			}
+			if err != nil {
+				if !st.cw.committed {
+					st.abort(err)
+					return
+				}
+				// The 200 header and a partial document are on the wire;
+				// killing the connection is the only way left to signal
+				// failure without forging a well-formed-but-wrong response.
+				panic(http.ErrAbortHandler)
+			}
+		}
+		st.writeByte(']')
+	}
+	st.writeString("]}\n")
+	_ = st.bw.Flush()
+}
+
+// streamBatchRouteNDJSON streams the line-framed response mode.
+func (s *Server) streamBatchRouteNDJSON(w http.ResponseWriter, r *http.Request, sr core.Searcher, sources, targets []graph.VertexID) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st := s.newRouteStream(w)
+	st.writeString(`{"sources":`)
+	st.writeIDList(sources)
+	st.writeString(`,"targets":`)
+	st.writeIDList(targets)
+	st.writeString("}\n")
+	for i, src := range sources {
+		for j, tgt := range targets {
+			it, d, err := core.OpenPath(r.Context(), sr, src, tgt)
+			if err != nil {
+				// The search itself aborted; no cell line was started.
+				if !st.cw.committed {
+					st.abort(err)
+					return
+				}
+				st.truncate(err)
+				return
+			}
+			prefix := fmt.Sprintf(`"i":%d,"j":%d,`, i, j)
+			if err := st.streamCell(prefix, it, d, true); err != nil {
+				if !st.cw.committed {
+					st.abort(err)
+					return
+				}
+				st.writeByte('\n')
+				st.truncate(err)
+				return
+			}
+			st.writeByte('\n')
+		}
+		// Row boundary: push finished rows to slow consumers.
+		_ = st.bw.Flush()
+	}
+	st.writeString("{\"done\":true}\n")
+	_ = st.bw.Flush()
+}
+
+// truncate ends a committed NDJSON stream with its in-band marker line.
+func (st *routeStream) truncate(err error) {
+	line, _ := json.Marshal(struct {
+		Truncated bool   `json:"truncated"`
+		Error     string `json:"error"`
+	}{true, err.Error()})
+	_, _ = st.bw.Write(line)
+	st.writeByte('\n')
+	_ = st.bw.Flush()
+}

@@ -1,0 +1,105 @@
+package silc
+
+import (
+	"context"
+	"errors"
+
+	"roadnet/internal/cancel"
+	"roadnet/internal/graph"
+)
+
+// errNoPath marks a first-hop walk that hit a vertex with no hop toward
+// the target — the walk-level signal for "unreachable". The collectors
+// translate it into the classic (nil, Infinity) answer; OpenPath never
+// surfaces it because its distance prepass already proved reachability
+// over the same deterministic tables.
+var errNoPath = errors.New("silc: no first hop toward target")
+
+// step resolves the next hop of the shortest path from cur toward t: the
+// head of the arc the interval tables select and its weight, or ok=false
+// when the tables yield no hop (unreachable pair or corrupted table). It
+// is the single step shared by the distance walk, the path collector and
+// the lazy iterator.
+func (ix *Index) step(cur, t graph.VertexID) (next graph.VertexID, w int64, ok bool) {
+	slot := ix.lookup(cur, t)
+	if slot == noHop {
+		return 0, 0, false
+	}
+	lo, hi := ix.g.ArcsOf(cur)
+	a := lo + int32(slot)
+	if a >= hi {
+		return 0, 0, false
+	}
+	return ix.g.Head(a), int64(ix.g.ArcWeight(a)), true
+}
+
+// walkIter is the lazy first-hop walk from s to t: each Next resolves one
+// interval-table lookup and yields one vertex, so resident state is O(1)
+// no matter how long the path is. It carries no index-side mutable state,
+// matching SILC's "the index is its own concurrency-safe searcher"
+// contract — any number of walks may run concurrently.
+type walkIter struct {
+	ix  *Index
+	ctx context.Context
+	cur graph.VertexID
+	t   graph.VertexID
+
+	// total accumulates the walked weight; after a complete iteration it
+	// is the path length (the quantity SILC distance queries report).
+	total   int64
+	steps   int
+	started bool
+	done    bool
+	err     error
+}
+
+// Next implements graph.PathIterator, polling ctx every cancel.Interval
+// hops.
+func (it *walkIter) Next() (graph.VertexID, bool) {
+	if it.done {
+		return 0, false
+	}
+	if !it.started {
+		it.started = true
+		return it.cur, true
+	}
+	if it.cur == it.t {
+		it.done = true
+		return 0, false
+	}
+	if err := cancel.Poll(it.ctx, it.steps); err != nil {
+		it.err = err
+		it.done = true
+		return 0, false
+	}
+	it.steps++
+	next, w, ok := it.ix.step(it.cur, it.t)
+	if !ok || it.steps > it.ix.g.NumVertices() {
+		// No hop, or a corrupted table would loop forever.
+		it.err = errNoPath
+		it.done = true
+		return 0, false
+	}
+	it.cur = next
+	it.total += w
+	return next, true
+}
+
+// Err implements graph.PathIterator.
+func (it *walkIter) Err() error { return it.err }
+
+// OpenPath returns a PathIterator over the shortest path from s to t plus
+// its length, or (nil, Infinity, nil) when t is unreachable. The length is
+// needed up front by streaming consumers, so OpenPath pays one extra
+// allocation-free distance walk (O(k) table lookups) before handing out
+// the lazy path walk; nothing is ever materialized.
+func (ix *Index) OpenPath(ctx context.Context, s, t graph.VertexID) (graph.PathIterator, int64, error) {
+	d, err := ix.DistanceContext(ctx, s, t)
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	if d >= graph.Infinity {
+		return nil, graph.Infinity, nil
+	}
+	return &walkIter{ix: ix, ctx: ctx, cur: s, t: t}, d, nil
+}

@@ -16,6 +16,7 @@ package silc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,7 +24,6 @@ import (
 	"sync"
 	"time"
 
-	"roadnet/internal/cancel"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
@@ -397,39 +397,30 @@ func (ix *Index) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) {
 }
 
 // ShortestPathContext is ShortestPath with cancellation: the hop-by-hop
-// walk polls ctx every cancel.Interval hops and aborts with its error.
+// walk polls ctx every cancel.Interval hops and aborts with its error. It
+// is a thin collector over the lazy walk iterator — one pass, with the
+// path length accumulated as the walk advances.
 func (ix *Index) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, graph.Infinity, err
 	}
-	if s == t {
-		return []graph.VertexID{s}, 0, nil
+	it := walkIter{ix: ix, ctx: ctx, cur: s, t: t}
+	var path []graph.VertexID
+	for {
+		v, ok := it.Next()
+		if !ok {
+			break
+		}
+		path = append(path, v)
 	}
-	path := []graph.VertexID{s}
-	var total int64
-	cur := s
-	for steps := 0; cur != t; steps++ {
-		if err := cancel.Poll(ctx, steps); err != nil {
-			return nil, graph.Infinity, err
-		}
-		slot := ix.lookup(cur, t)
-		if slot == noHop {
-			return nil, graph.Infinity, nil
-		}
-		lo, hi := ix.g.ArcsOf(cur)
-		a := lo + int32(slot)
-		if a >= hi {
-			return nil, graph.Infinity, nil
-		}
-		cur = ix.g.Head(a)
-		total += int64(ix.g.ArcWeight(a))
-		path = append(path, cur)
-		if len(path) > ix.g.NumVertices() {
-			// Defensive: a corrupted table would loop forever.
-			return nil, graph.Infinity, nil
-		}
+	switch {
+	case it.err == nil:
+		return path, it.total, nil
+	case errors.Is(it.err, errNoPath):
+		return nil, graph.Infinity, nil
+	default:
+		return nil, graph.Infinity, it.err
 	}
-	return path, total, nil
 }
 
 // Distance computes the path and returns its length (§3.4: SILC answers a
@@ -440,37 +431,27 @@ func (ix *Index) Distance(s, t graph.VertexID) int64 {
 }
 
 // DistanceContext is Distance with cancellation: the hop-by-hop walk polls
-// ctx every cancel.Interval hops and aborts with its error.
+// ctx every cancel.Interval hops and aborts with its error. It drains the
+// same lazy walk the path queries stream, discarding the vertices and
+// keeping the accumulated length — so the two can never disagree.
 func (ix *Index) DistanceContext(ctx context.Context, s, t graph.VertexID) (int64, error) {
 	if err := ctx.Err(); err != nil {
 		return graph.Infinity, err
 	}
-	if s == t {
-		return 0, nil
-	}
-	var total int64
-	cur := s
-	steps := 0
-	for cur != t {
-		if err := cancel.Poll(ctx, steps); err != nil {
-			return graph.Infinity, err
-		}
-		slot := ix.lookup(cur, t)
-		if slot == noHop {
-			return graph.Infinity, nil
-		}
-		lo, hi := ix.g.ArcsOf(cur)
-		a := lo + int32(slot)
-		if a >= hi {
-			return graph.Infinity, nil
-		}
-		cur = ix.g.Head(a)
-		total += int64(ix.g.ArcWeight(a))
-		if steps++; steps > ix.g.NumVertices() {
-			return graph.Infinity, nil
+	it := walkIter{ix: ix, ctx: ctx, cur: s, t: t}
+	for {
+		if _, ok := it.Next(); !ok {
+			break
 		}
 	}
-	return total, nil
+	switch {
+	case it.err == nil:
+		return it.total, nil
+	case errors.Is(it.err, errNoPath):
+		return graph.Infinity, nil
+	default:
+		return graph.Infinity, it.err
+	}
 }
 
 // NumIntervals returns the total number of stored Morton intervals; the

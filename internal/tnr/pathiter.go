@@ -1,0 +1,183 @@
+package tnr
+
+import (
+	"context"
+	"errors"
+
+	"roadnet/internal/cancel"
+	"roadnet/internal/graph"
+)
+
+// errTableMismatch marks a table walk whose local remainder disagreed with
+// the fallback technique. This cannot happen with the corrected
+// access-node computation, but the flawed Appendix B variant can reach it;
+// the materializing collector reacts by discarding the walked prefix and
+// trusting a full fallback search, which is exact.
+var errTableMismatch = errors.New("tnr: tables and fallback disagree on the remaining distance")
+
+// fallbackOpenPath streams a path from the configured fallback technique
+// (CH lazy shortcut unpacking, or the bidirectional Dijkstra parent walk).
+func (sr *Searcher) fallbackOpenPath(ctx context.Context, s, t graph.VertexID) (graph.PathIterator, int64, error) {
+	if sr.bi != nil {
+		return sr.bi.OpenPath(ctx, s, t)
+	}
+	return sr.chSearch.OpenPath(ctx, s, t)
+}
+
+// tableWalkIter is the lazy §3.3 path walk: while the current vertex is
+// far from t the next hop is the neighbor v minimizing
+// w(cur, v) + dist(v, t) with dist evaluated from the tables, one O(k)
+// distance sweep per emitted vertex; once the walk enters t's locality it
+// stitches on the fallback technique's own PathIterator, so the local
+// remainder is streamed too and nothing is ever materialized.
+type tableWalkIter struct {
+	sr        *Searcher
+	ctx       context.Context
+	cur, t    graph.VertexID
+	remaining int64
+
+	tail    graph.PathIterator // non-nil once delegated to the fallback
+	steps   int
+	started bool
+	done    bool
+	err     error
+}
+
+// Next implements graph.PathIterator, polling ctx every cancel.Interval
+// hops (the fallback tail polls its own search cadence).
+func (it *tableWalkIter) Next() (graph.VertexID, bool) {
+	if it.done {
+		return 0, false
+	}
+	if !it.started {
+		it.started = true
+		return it.cur, true
+	}
+	if it.tail != nil {
+		v, ok := it.tail.Next()
+		if !ok {
+			it.err = it.tail.Err()
+			it.done = true
+		}
+		return v, ok
+	}
+	if it.cur == it.t {
+		it.done = true
+		return 0, false
+	}
+	if err := cancel.Poll(it.ctx, it.steps); err != nil {
+		it.err = err
+		it.done = true
+		return 0, false
+	}
+	it.steps++
+	ix := it.sr.ix
+	if !ix.CanAnswerFromTables(it.cur, it.t) {
+		// Local remainder: stitch on the fallback technique's iterator.
+		return it.delegate()
+	}
+	// Pick the neighbor on a shortest path to t. Every neighbor is
+	// evaluated with a table distance when possible; if any neighbor needs
+	// a fallback we stop the traversal here and let the fallback stream
+	// the rest, keeping the cost profile of §3.3.
+	next := graph.VertexID(-1)
+	var nextWeight int64
+	found := true
+	ix.g.Neighbors(it.cur, func(v graph.VertexID, wt graph.Weight, _ int32) bool {
+		if !ix.CanAnswerFromTables(v, it.t) {
+			if v == it.t {
+				if int64(wt) == it.remaining {
+					next = v
+					nextWeight = int64(wt)
+					return false
+				}
+				return true
+			}
+			found = false
+			return false
+		}
+		if int64(wt)+ix.tableDistance(v, it.t) == it.remaining {
+			next = v
+			nextWeight = int64(wt)
+			return false
+		}
+		return true
+	})
+	if !found || next < 0 {
+		return it.delegate()
+	}
+	it.cur = next
+	it.remaining -= nextWeight
+	return next, true
+}
+
+// delegate opens the fallback path from cur and verifies it against the
+// remaining table distance before yielding from it. A disagreement (only
+// possible under the flawed Appendix B access computation) aborts the walk
+// with errTableMismatch — a lazy walk cannot retract already-yielded
+// vertices, so the collector handles the retraction.
+func (it *tableWalkIter) delegate() (graph.VertexID, bool) {
+	tail, tailDist, err := it.sr.fallbackOpenPath(it.ctx, it.cur, it.t)
+	if err != nil {
+		it.err = err
+		it.done = true
+		return 0, false
+	}
+	if tail == nil || tailDist != it.remaining {
+		it.err = errTableMismatch
+		it.done = true
+		return 0, false
+	}
+	// The tail starts at cur, which has already been yielded.
+	if _, ok := tail.Next(); !ok {
+		it.err = tail.Err()
+		it.done = true
+		return 0, false
+	}
+	it.tail = tail
+	v, ok := tail.Next()
+	if !ok {
+		it.err = tail.Err()
+		it.done = true
+	}
+	return v, ok
+}
+
+// Err implements graph.PathIterator.
+func (it *tableWalkIter) Err() error { return it.err }
+
+// OpenPath returns a PathIterator over the shortest path from s to t plus
+// its length, or (nil, Infinity, nil) when t is unreachable. Far pairs
+// stream the lazy table walk stitched onto the fallback's iterator; local
+// pairs stream the fallback directly. Under the flawed Appendix B access
+// computation the walk may need to retract a wrong prefix, which a stream
+// cannot do, so that variant materializes first and streams the corrected
+// result — only the demonstration-of-incorrectness mode pays for it.
+func (sr *Searcher) OpenPath(ctx context.Context, s, t graph.VertexID) (graph.PathIterator, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, graph.Infinity, err
+	}
+	ix := sr.ix
+	if !ix.CanAnswerFromTables(s, t) {
+		sr.FallbackQueries++
+		return sr.fallbackOpenPath(ctx, s, t)
+	}
+	if ix.opts.Access != AccessCorrected {
+		path, d, err := sr.ShortestPathContext(ctx, s, t)
+		if err != nil {
+			return nil, graph.Infinity, err
+		}
+		if path == nil {
+			return nil, graph.Infinity, nil
+		}
+		sr.pathIter.Reset(path)
+		return &sr.pathIter, d, nil
+	}
+	sr.TableQueries++
+	total := ix.tableDistance(s, t)
+	if total >= graph.Infinity {
+		return nil, graph.Infinity, nil
+	}
+	sr.walk = tableWalkIter{sr: sr, ctx: ctx, cur: s, t: t, remaining: total}
+	return &sr.walk, total, nil
+}

@@ -26,7 +26,6 @@ import (
 	"math"
 	"time"
 
-	"roadnet/internal/cancel"
 	"roadnet/internal/ch"
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
@@ -137,6 +136,12 @@ type Searcher struct {
 	// fallback technique; TableQueries counts queries answered from the
 	// precomputed tables.
 	FallbackQueries, TableQueries int
+
+	// Path-production scratch, reused across queries: walk is the lazy
+	// table-walk iterator handed out by OpenPath, pathIter wraps the
+	// materialized path of the flawed-access variant (which may retract).
+	walk     tableWalkIter
+	pathIter graph.SlicePath
 }
 
 // NewSearcher returns a fresh query context sharing ix's immutable tables.
@@ -369,7 +374,10 @@ func (sr *Searcher) ShortestPath(s, t graph.VertexID) ([]graph.VertexID, int64) 
 // ShortestPathContext is ShortestPath with cancellation: the hop-by-hop
 // table walk polls ctx every cancel.Interval hops and the fallback searches
 // poll it every cancel.Interval settled vertices; both abort with ctx's
-// error.
+// error. It is a thin collector over the lazy table walk of pathiter.go —
+// the one behavior a collector can add is the Appendix B retraction: when
+// the walk aborts with errTableMismatch (flawed access nodes only), the
+// walked prefix is discarded and a full fallback search answers instead.
 func (sr *Searcher) ShortestPathContext(ctx context.Context, s, t graph.VertexID) ([]graph.VertexID, int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, graph.Infinity, err
@@ -384,73 +392,18 @@ func (sr *Searcher) ShortestPathContext(ctx context.Context, s, t graph.VertexID
 	if total >= graph.Infinity {
 		return nil, graph.Infinity, nil
 	}
-	path := []graph.VertexID{s}
-	cur := s
-	remaining := total
-	for steps := 0; ; steps++ {
-		if err := cancel.Poll(ctx, steps); err != nil {
-			return nil, graph.Infinity, err
-		}
-		if !ix.CanAnswerFromTables(cur, t) {
-			// Local remainder: delegate to the fallback technique.
-			tail, tailDist, err := sr.fallbackPath(ctx, cur, t)
-			if err != nil {
-				return nil, graph.Infinity, err
-			}
-			if tail == nil || tailDist != remaining {
-				// The tables and the fallback disagree; this cannot happen
-				// with a correct access-node computation, but the flawed
-				// Appendix B variant can reach this point. Trust the
-				// fallback, which is exact.
-				return sr.fallbackPath(ctx, s, t)
-			}
-			return append(path, tail[1:]...), total, nil
-		}
-		// Pick the neighbor on a shortest path to t. Every neighbor is
-		// evaluated with a table distance when possible; if any neighbor
-		// needs a fallback we stop the traversal here and let the fallback
-		// finish the path, keeping the cost profile of §3.3.
-		next := graph.VertexID(-1)
-		var nextWeight int64
-		found := true
-		ix.g.Neighbors(cur, func(v graph.VertexID, wt graph.Weight, _ int32) bool {
-			if !ix.CanAnswerFromTables(v, t) {
-				if v == t {
-					if int64(wt) == remaining {
-						next = v
-						nextWeight = int64(wt)
-						return false
-					}
-					return true
-				}
-				found = false
-				return false
-			}
-			if int64(wt)+ix.tableDistance(v, t) == remaining {
-				next = v
-				nextWeight = int64(wt)
-				return false
-			}
-			return true
-		})
-		if !found || next < 0 {
-			// Finish with the fallback from cur.
-			tail, tailDist, err := sr.fallbackPath(ctx, cur, t)
-			if err != nil {
-				return nil, graph.Infinity, err
-			}
-			if tail == nil || tailDist != remaining {
-				return sr.fallbackPath(ctx, s, t)
-			}
-			return append(path, tail[1:]...), total, nil
-		}
-		path = append(path, next)
-		remaining -= nextWeight
-		cur = next
-		if cur == t {
-			return path, total, nil
-		}
+	sr.walk = tableWalkIter{sr: sr, ctx: ctx, cur: s, t: t, remaining: total}
+	path, err := graph.AppendPath(nil, &sr.walk)
+	if err == errTableMismatch {
+		// The tables and the fallback disagree; this cannot happen with a
+		// correct access-node computation, but the flawed Appendix B
+		// variant can reach this point. Trust the fallback, which is exact.
+		return sr.fallbackPath(ctx, s, t)
 	}
+	if err != nil {
+		return nil, graph.Infinity, err
+	}
+	return path, total, nil
 }
 
 // ShortestPath answers a shortest-path query on the default searcher.

@@ -79,6 +79,14 @@
 //	others    per-pair queries on one reusable searcher
 //
 // All accelerators return matrices bit-identical to per-pair queries.
+//
+// # Streaming paths
+//
+// OpenPath yields a path vertex-by-vertex through a PathIterator instead
+// of materializing it, so consumers (the HTTP batch-route streamer in
+// internal/server, cmd/spserve) hold only a bounded window of even a
+// continent-length path. The streamed vertex sequence is bit-identical to
+// ShortestPath's.
 package roadnet
 
 import (
@@ -140,6 +148,28 @@ type Index = core.Index
 // from Index.NewSearcher or a Pool. A Searcher is reusable but not safe
 // for concurrent use.
 type Searcher = core.Searcher
+
+// PathIterator yields the vertices of one shortest path in order, on
+// demand: Next returns vertices front to back and then false, after which
+// Err distinguishes normal exhaustion (nil) from an aborted walk (the
+// context's error). An iterator reads the per-query state of the searcher
+// that opened it — it is invalidated by that searcher's next query and
+// must be drained (or abandoned) before the searcher is reused.
+type PathIterator = core.PathIterator
+
+// OpenPath streams the shortest path from s to t through sr without
+// materializing it: the distance is reported up front and the vertices
+// come lazily from the technique's native iterator (CH shortcut
+// unpacking, SILC first-hop walks, TNR table-walk stitching, the
+// Dijkstra-family parent walks). Techniques with no lazy production
+// (PCPD) fall back to materializing internally; the vertex sequence is
+// bit-identical either way. It returns (nil, Infinity, err) on
+// cancellation, (nil, Infinity, nil) when t is unreachable from s, and
+// (it, d, nil) otherwise. Iterators poll ctx at the same bounded
+// intervals as the Context query variants.
+func OpenPath(ctx context.Context, sr Searcher, s, t VertexID) (PathIterator, int64, error) {
+	return core.OpenPath(ctx, sr, s, t)
+}
 
 // Pool hands out reusable Searchers over one shared Index so any number
 // of goroutines can query concurrently with zero steady-state allocations
