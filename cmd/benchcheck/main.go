@@ -30,7 +30,13 @@
 //     (batch_route_alloc_ratio), compared by B/op instead of ns/op: a
 //     streamed batch-route request must keep allocating far less than the
 //     materialize-then-encode equivalent, or path streaming has regressed
-//     into buffering whole matrices again.
+//     into buffering whole matrices again. And to BenchmarkKNNLinear /
+//     BenchmarkKNNPruned (knn_prune_ratio), compared by their
+//     "candidates/op" custom metric — exact network-distance evaluations
+//     per k-NN query: R-tree-seeded pruning must keep evaluating several
+//     times fewer candidates than the evaluate-every-vertex linear scan.
+//     The metric is a deterministic count over a fixed query set, so this
+//     gate is immune to machine and -benchtime variation entirely.
 //
 // Use benchstat alongside for the human-readable comparison table; this
 // tool only decides pass/fail.
@@ -77,6 +83,19 @@ const (
 	streamedRouteBench     = "BenchmarkBatchRouteStreamed"
 )
 
+// The benchmark pair whose candidates/op ratio gates R-tree k-NN pruning:
+// linear/pruned exact distance evaluations per query. Both report the
+// deterministic per-query candidate count via b.ReportMetric, so the ratio
+// is bit-stable across machines.
+const (
+	linearKNNBench = "BenchmarkKNNLinear"
+	prunedKNNBench = "BenchmarkKNNPruned"
+)
+
+// candMetric matches the custom candidates/op metric, which `go test
+// -bench` prints after the built-in ns/op column.
+var candMetric = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) candidates/op`)
+
 // baseline is the committed reference file.
 type baseline struct {
 	Note       string             `json:"note,omitempty"`
@@ -91,6 +110,10 @@ type baseline struct {
 	// batch-route request — the bounded-residency win of streaming paths
 	// through a PathIterator instead of materializing the matrix.
 	AllocRatio float64 `json:"batch_route_alloc_ratio,omitempty"`
+	// KNNPruneRatio is linear/pruned median candidates/op of a network
+	// k-NN query — how many times fewer exact distance evaluations the
+	// R-tree-seeded SILC browsing needs than a full linear scan.
+	KNNPruneRatio float64 `json:"knn_prune_ratio,omitempty"`
 }
 
 func main() {
@@ -99,7 +122,7 @@ func main() {
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
 	flag.Parse()
 
-	samples, byteSamples, err := parseFiles(flag.Args())
+	samples, byteSamples, candSamples, err := parseFiles(flag.Args())
 	if err != nil {
 		fatal(err)
 	}
@@ -114,12 +137,17 @@ func main() {
 	for name, bs := range byteSamples {
 		byteMedians[name] = median(bs)
 	}
+	candMedians := make(map[string]float64, len(candSamples))
+	for name, cs := range candSamples {
+		candMedians[name] = median(cs)
+	}
 	speedup := speedupOf(medians)
 	loadSpeedup := ratioOf(medians, heapLoadBench, mmapLoadBench)
 	allocRatio := ratioOf(byteMedians, materializedRouteBench, streamedRouteBench)
+	knnPruneRatio := ratioOf(candMedians, linearKNNBench, prunedKNNBench)
 
 	if *update {
-		if err := writeBaseline(*baselinePath, medians, speedup, loadSpeedup, allocRatio); err != nil {
+		if err := writeBaseline(*baselinePath, medians, speedup, loadSpeedup, allocRatio, knnPruneRatio); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchcheck: wrote %s with %d benchmarks\n", *baselinePath, len(medians))
@@ -130,7 +158,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures := compare(base, medians, speedup, loadSpeedup, allocRatio, *threshold)
+	failures := compare(base, medians, speedup, loadSpeedup, allocRatio, knnPruneRatio, *threshold)
 	names := make([]string, 0, len(medians))
 	for name := range medians {
 		names = append(names, name)
@@ -154,6 +182,9 @@ func main() {
 	if allocRatio > 0 {
 		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "batch route alloc ratio (materialized/streamed)", allocRatio, base.AllocRatio)
 	}
+	if knnPruneRatio > 0 {
+		fmt.Printf("  %-52s %12.2fx          baseline %12.2fx\n", "knn prune ratio (linear/pruned candidates)", knnPruneRatio, base.KNNPruneRatio)
+	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL")
 		for _, f := range failures {
@@ -165,7 +196,7 @@ func main() {
 }
 
 // compare returns one message per gate violation.
-func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, allocRatio, threshold float64) []string {
+func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, allocRatio, knnPruneRatio, threshold float64) []string {
 	var failures []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -198,6 +229,11 @@ func compare(base *baseline, medians map[string]float64, speedup, loadSpeedup, a
 		failures = append(failures, fmt.Sprintf(
 			"batch route alloc ratio %.2fx fell more than %.0f%% below baseline %.2fx — the streamed handler is materializing paths again",
 			allocRatio, 100*threshold, base.AllocRatio))
+	}
+	if base.KNNPruneRatio > 0 && knnPruneRatio > 0 && knnPruneRatio < base.KNNPruneRatio*(1-threshold) {
+		failures = append(failures, fmt.Sprintf(
+			"knn prune ratio %.2fx fell more than %.0f%% below baseline %.2fx — R-tree seeding stopped pruning k-NN candidate evaluations",
+			knnPruneRatio, 100*threshold, base.KNNPruneRatio))
 	}
 	return failures
 }
@@ -273,10 +309,13 @@ func splitCPU(name string) (string, int) {
 }
 
 // parseFiles collects ns/op samples per benchmark, plus B/op samples for
-// the benchmarks that report allocations (the alloc-ratio gate's input).
-func parseFiles(paths []string) (map[string][]float64, map[string][]float64, error) {
+// the benchmarks that report allocations (the alloc-ratio gate's input)
+// and candidates/op samples for the ones that report the k-NN pruning
+// metric (the prune-ratio gate's input).
+func parseFiles(paths []string) (map[string][]float64, map[string][]float64, map[string][]float64, error) {
 	samples := make(map[string][]float64)
 	byteSamples := make(map[string][]float64)
+	candSamples := make(map[string][]float64)
 	read := func(f *os.File) error {
 		sc := bufio.NewScanner(f)
 		for sc.Scan() {
@@ -293,28 +332,35 @@ func parseFiles(paths []string) (map[string][]float64, map[string][]float64, err
 					}
 					byteSamples[m[1]] = append(byteSamples[m[1]], bs)
 				}
+				if c := candMetric.FindStringSubmatch(sc.Text()); c != nil {
+					cs, err := strconv.ParseFloat(c[1], 64)
+					if err != nil {
+						return fmt.Errorf("parsing %q: %w", sc.Text(), err)
+					}
+					candSamples[m[1]] = append(candSamples[m[1]], cs)
+				}
 			}
 		}
 		return sc.Err()
 	}
 	if len(paths) == 0 {
 		if err := read(os.Stdin); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return samples, byteSamples, nil
+		return samples, byteSamples, candSamples, nil
 	}
 	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		err = read(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return samples, byteSamples, nil
+	return samples, byteSamples, candSamples, nil
 }
 
 func median(xs []float64) float64 {
@@ -339,20 +385,22 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func writeBaseline(path string, medians map[string]float64, speedup, loadSpeedup, allocRatio float64) error {
+func writeBaseline(path string, medians map[string]float64, speedup, loadSpeedup, allocRatio, knnPruneRatio float64) error {
 	b := baseline{
 		Note: "Median ns/op per benchmark from `go test -bench -cpu 4 -count 5`, " +
 			"compared by cmd/benchcheck with a fractional threshold. Absolute numbers are " +
 			"machine-specific: refresh with `go run ./cmd/benchcheck -update` output when the " +
 			"CI runner class changes. parallel_speedup (serialized/parallel server throughput), " +
-			"load_speedup (heap/mmap index load) and batch_route_alloc_ratio " +
-			"(materialized/streamed batch-route B/op) are machine-independent ratios guarding " +
-			"the multi-core scaling of the searcher pool, the zero-copy mmap load path and the " +
-			"bounded residency of batch-route streaming.",
+			"load_speedup (heap/mmap index load), batch_route_alloc_ratio " +
+			"(materialized/streamed batch-route B/op) and knn_prune_ratio (linear/pruned k-NN " +
+			"candidates/op) are machine-independent ratios guarding " +
+			"the multi-core scaling of the searcher pool, the zero-copy mmap load path, the " +
+			"bounded residency of batch-route streaming and the R-tree pruning of k-NN search.",
 		Benchmarks:      medians,
 		ParallelSpeedup: speedup,
 		LoadSpeedup:     loadSpeedup,
 		AllocRatio:      allocRatio,
+		KNNPruneRatio:   knnPruneRatio,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

@@ -1,0 +1,195 @@
+package main
+
+// The client mode: with -server, sproute queries a running spserve over
+// HTTP instead of building a local index. -sources/-targets give the batch
+// matrix; -ndjson asks for the chunked line-framed streaming response and
+// consumes it line by line — bounded client memory however long the paths
+// are — honoring the in-band status markers: {"done":true} means the
+// matrix is complete, a {"truncated":true,...} marker (or a cell closed
+// with "truncated":true) means the server cut the stream (vertex budget,
+// timeout, disconnect) and sproute exits non-zero.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// parseIDList parses a comma-separated vertex id list ("3,14,15").
+func parseIDList(arg, name string) ([]int64, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, fmt.Errorf("client mode needs -%s (comma-separated vertex ids)", name)
+	}
+	parts := strings.Split(arg, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: bad vertex id %q", name, p)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// runClient executes the batch-route request against server and renders
+// the response. It returns the process exit code: 0 for a complete
+// matrix, 1 for a truncated or failed one.
+func runClient(server, sourcesArg, targetsArg string, ndjson, printPath bool) int {
+	sources, err := parseIDList(sourcesArg, "sources")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	targets, err := parseIDList(targetsArg, "targets")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	body, _ := json.Marshal(struct {
+		Sources []int64 `json:"sources"`
+		Targets []int64 `json:"targets"`
+	}{sources, targets})
+
+	url := strings.TrimRight(server, "/") + "/v1/batch/route"
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ndjson {
+		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", url, resp.Status, e.Error)
+		return 1
+	}
+	if ndjson {
+		return consumeNDJSON(resp.Body, printPath)
+	}
+	return consumeJSON(resp.Body, printPath)
+}
+
+// routeCell is one matrix cell in either response mode. In NDJSON mode the
+// i/j members locate it; Truncated marks a cell the server cut mid-path.
+type routeCell struct {
+	I         *int    `json:"i"`
+	J         *int    `json:"j"`
+	Reachable bool    `json:"reachable"`
+	Distance  int64   `json:"distance"`
+	Vertices  []int64 `json:"vertices"`
+	Truncated bool    `json:"truncated"`
+	// Marker-line members: {"done":true} / {"truncated":true,"error":...}.
+	Done  bool   `json:"done"`
+	Error string `json:"error"`
+}
+
+func printCell(i, j int64, c *routeCell, printPath bool) {
+	switch {
+	case !c.Reachable:
+		fmt.Printf("%d -> %d: unreachable\n", i, j)
+	case c.Truncated:
+		fmt.Printf("%d -> %d: distance %d (path truncated at %d vertices)\n", i, j, c.Distance, len(c.Vertices))
+	default:
+		fmt.Printf("%d -> %d: distance %d (%d vertices)\n", i, j, c.Distance, len(c.Vertices))
+	}
+	if printPath && len(c.Vertices) > 0 {
+		fmt.Print("  path:")
+		for _, v := range c.Vertices {
+			fmt.Printf(" %d", v)
+		}
+		fmt.Println()
+	}
+}
+
+// consumeNDJSON reads the line-framed stream: a header line naming the
+// matrix, one line per cell, and a final status marker. Every line is one
+// JSON object, so a Scanner with an enlarged buffer handles even
+// continent-length path lines.
+func consumeNDJSON(body io.Reader, printPath bool) int {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	var header struct {
+		Sources []int64 `json:"sources"`
+		Targets []int64 `json:"targets"`
+	}
+	if !sc.Scan() {
+		fmt.Fprintln(os.Stderr, "empty response stream")
+		return 1
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		fmt.Fprintf(os.Stderr, "bad header line: %v\n", err)
+		return 1
+	}
+	cells, cut, sawDone := 0, false, false
+	for sc.Scan() {
+		var c routeCell
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			fmt.Fprintf(os.Stderr, "bad stream line: %v\n", err)
+			return 1
+		}
+		switch {
+		case c.Done:
+			sawDone = true
+		case c.I == nil: // truncation marker line
+			fmt.Fprintf(os.Stderr, "stream truncated by server: %s\n", c.Error)
+			cut = true
+		default:
+			if c.J == nil || *c.I >= len(header.Sources) || *c.J >= len(header.Targets) {
+				fmt.Fprintf(os.Stderr, "cell index out of range: %s\n", sc.Bytes())
+				return 1
+			}
+			printCell(header.Sources[*c.I], header.Targets[*c.J], &c, printPath)
+			cells++
+			cut = cut || c.Truncated
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "reading stream: %v\n", err)
+		return 1
+	}
+	want := len(header.Sources) * len(header.Targets)
+	fmt.Printf("%d/%d cells received\n", cells, want)
+	if cut || !sawDone {
+		if !cut {
+			fmt.Fprintln(os.Stderr, "stream ended without {\"done\":true}")
+		}
+		return 1
+	}
+	return 0
+}
+
+// consumeJSON reads the classic single-document response.
+func consumeJSON(body io.Reader, printPath bool) int {
+	var doc struct {
+		Sources []int64       `json:"sources"`
+		Targets []int64       `json:"targets"`
+		Routes  [][]routeCell `json:"routes"`
+	}
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "decoding response: %v\n", err)
+		return 1
+	}
+	for i, row := range doc.Routes {
+		for j := range row {
+			printCell(doc.Sources[i], doc.Targets[j], &row[j], printPath)
+		}
+	}
+	return 0
+}

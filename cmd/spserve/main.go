@@ -28,11 +28,21 @@
 // API (see docs/API.md for the full contract):
 //
 //	GET  /v1/distance?from=ID&to=ID
-//	GET  /v1/route?from=ID&to=ID
+//	GET  /v1/route?from=ID&to=ID      (or from_x/from_y, to_x/to_y coordinates)
 //	GET  /v1/nearest?x=X&y=Y
 //	GET  /v1/stats
 //	POST /v1/batch/distance            {"sources":[...],"targets":[...]}
 //	POST /v1/batch/route               {"sources":[...],"targets":[...]}
+//	POST /v1/knn                       {"source":ID,"k":K}
+//	POST /v1/within                    {"source":ID,"radius":R}
+//
+// The spatial tier (coordinate snapping, /v1/knn, /v1/within) runs on an
+// R-tree over the vertex coordinates, bulk-loaded at startup or mmap'd
+// from a -rtree cache file. /v1/knn answers by exact network distance —
+// SILC distance browsing with R-tree candidate pruning when the index was
+// built with -knn (method silc), bounded Dijkstra otherwise; answers are
+// bit-identical either way. -request-timeout bounds every request's
+// wall-clock time.
 //
 // Batch routes are streamed row-by-row from lazy path iterators, so the
 // server's resident memory is bounded regardless of path length and
@@ -69,6 +79,11 @@ func main() {
 		poolMax     = flag.Int("pool-max", 0, "cap on live searchers (0 = unbounded); requests block when all are busy")
 		prewarm     = flag.Int("prewarm", runtime.GOMAXPROCS(0), "searchers to build before serving, so the first burst pays no allocations (guaranteed to stay warm only with -pool-max; unbounded pools may drop idle searchers at GC)")
 		routeBudget = flag.Int64("route-vertex-budget", server.DefaultBatchRouteVertexBudget, "max total path vertices one batch-route request may stream (JSON responses over budget get 413; NDJSON responses truncate in-band)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "wall-clock bound per request (0 = none); requests over it abort with 503")
+		knnNearest  = flag.Bool("knn", false, "build the SILC per-region nearest bounds that accelerate /v1/knn (method silc only; grows the index)")
+		rtreePath   = flag.String("rtree", "", "R-tree file: load (mmap) if present, else bulk-load from the graph and save")
+		knnMax      = flag.Int("knn-max", server.DefaultMaxKNN, "max k accepted by /v1/knn")
+		withinMax   = flag.Int("within-max", server.DefaultMaxWithinResults, "max neighbors one /v1/within response may carry (larger answers truncate)")
 	)
 	flag.Parse()
 
@@ -79,7 +94,9 @@ func main() {
 	}
 	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap)
+	cfg := roadnet.Config{}
+	cfg.SILC.EnableNearest = *knnNearest
+	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -100,8 +117,22 @@ func main() {
 		fmt.Println()
 	}
 
-	srv := server.New(g, idx, server.WithPool(pool),
-		server.WithBatchRouteVertexBudget(*routeBudget))
+	loc, err := loadOrBuildLocator(g, *rtreePath, *useMmap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srvOpts := []server.Option{
+		server.WithPool(pool),
+		server.WithBatchRouteVertexBudget(*routeBudget),
+		server.WithSpatialLocator(loc),
+		server.WithSpatialLimits(*knnMax, *withinMax),
+	}
+	if *reqTimeout > 0 {
+		srvOpts = append(srvOpts, server.WithRequestTimeout(*reqTimeout))
+	}
+	srv := server.New(g, idx, srvOpts...)
 	fmt.Printf("listening on %s, serving concurrently on up to %d cores\n", *addr, runtime.GOMAXPROCS(0))
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -109,7 +140,7 @@ func main() {
 	}
 }
 
-func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool) (core.Index, error) {
+func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool, cfg roadnet.Config) (core.Index, error) {
 	if indexPath != "" {
 		if _, err := os.Stat(indexPath); err == nil {
 			idx, info, err := roadnet.LoadIndexFile(method, indexPath, g, useMmap)
@@ -121,7 +152,7 @@ func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useM
 			return idx, nil
 		}
 	}
-	idx, err := roadnet.NewIndex(method, g, roadnet.Config{})
+	idx, err := roadnet.NewIndex(method, g, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +168,45 @@ func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useM
 		fmt.Printf("saved index to %s\n", indexPath)
 	}
 	return idx, nil
+}
+
+// loadOrBuildLocator resolves the spatial tier: the R-tree cache when
+// present (mmap'd flat v2, O(#sections) startup), otherwise an STR bulk
+// load over the graph's coordinates — saved back when -rtree is set.
+func loadOrBuildLocator(g *roadnet.Graph, rtreePath string, useMmap bool) (*roadnet.SpatialLocator, error) {
+	if rtreePath != "" {
+		if _, err := os.Stat(rtreePath); err == nil {
+			start := time.Now()
+			t, err := roadnet.LoadRTreeFile(rtreePath, useMmap)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", rtreePath, err)
+			}
+			loc, err := roadnet.NewSpatialLocatorFromTree(g, t)
+			if err != nil {
+				return nil, fmt.Errorf("%s does not match the graph: %w", rtreePath, err)
+			}
+			mode := "heap"
+			if t.Mapped() {
+				mode = "mmap"
+			}
+			fmt.Printf("load: rtree %s via %s in %v (%d vertices)\n",
+				rtreePath, mode, time.Since(start).Round(time.Microsecond), t.Len())
+			return loc, nil
+		}
+	}
+	loc := roadnet.NewSpatialLocator(g)
+	if rtreePath != "" {
+		f, err := os.Create(rtreePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := roadnet.SaveRTree(f, loc.Tree()); err != nil {
+			return nil, fmt.Errorf("saving %s: %w", rtreePath, err)
+		}
+		fmt.Printf("saved rtree to %s\n", rtreePath)
+	}
+	return loc, nil
 }
 
 // loadGraph resolves the network: the binary graph cache when present

@@ -1,0 +1,281 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"roadnet/internal/core"
+	"roadnet/internal/dijkstra"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+	"roadnet/internal/rtree"
+	"roadnet/internal/silc"
+	"roadnet/internal/testutil"
+	"roadnet/internal/tnr"
+)
+
+// oracleKNN is the ground truth for network k-NN: a fresh Dijkstra
+// context's bounded search, ranked by (distance, id).
+func oracleKNN(g *graph.Graph, s graph.VertexID, k int) []core.Neighbor {
+	c := dijkstra.NewContext(g)
+	vs, err := c.KNearest(context.Background(), s, k)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]core.Neighbor, len(vs))
+	for i, v := range vs {
+		out[i] = core.Neighbor{V: v, Dist: c.Dist(v)}
+	}
+	return out
+}
+
+// TestKNearestBitIdenticalAcrossTechniques checks the acceptance
+// criterion: /v1/knn's engine answers bit-identically to the
+// bounded-Dijkstra oracle on randomized graphs, whatever index backs it —
+// including the SILC distance-browsing fast path, seeded and unseeded.
+func TestKNearestBitIdenticalAcrossTechniques(t *testing.T) {
+	g := testutil.SmallRoad(300, 8801)
+	loc := core.NewSpatialLocator(g)
+	rng := rand.New(rand.NewSource(42))
+
+	methods := append(core.AllMethods(), core.MethodALT, core.MethodArcFlags)
+	indexes := make(map[string]core.Index)
+	for _, m := range methods {
+		ix, err := core.BuildIndex(m, g, core.Config{TNR: tnr.Options{GridSize: 8}})
+		if err != nil {
+			t.Fatalf("build %s: %v", m, err)
+		}
+		indexes[string(m)] = ix
+	}
+	// The accelerated path: SILC with per-region nearest bounds.
+	ixNearest, err := core.BuildIndex(core.MethodSILC, g, core.Config{
+		SILC: silc.Options{EnableNearest: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sx := core.SILCOf(ixNearest); sx == nil || !sx.NearestEnabled() {
+		t.Fatal("EnableNearest index does not report NearestEnabled")
+	}
+	indexes["silc+nearest"] = ixNearest
+
+	for trial := 0; trial < 25; trial++ {
+		s := graph.VertexID(rng.Intn(g.NumVertices()))
+		k := rng.Intn(12) + 1
+		want := oracleKNN(g, s, k)
+		for name, ix := range indexes {
+			got, err := loc.KNearest(context.Background(), ix, s, k)
+			if err != nil {
+				t.Fatalf("%s: KNearest(%d, %d): %v", name, s, k, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: KNearest(%d, %d) returned %d neighbors, oracle %d\n got %v\nwant %v",
+					name, s, k, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: KNearest(%d, %d)[%d] = %+v, oracle %+v\n got %v\nwant %v",
+						name, s, k, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+
+	// k past the vertex count clamps.
+	got, err := loc.KNearest(context.Background(), indexes["silc+nearest"], 0, g.NumVertices()+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > g.NumVertices()-1 {
+		t.Fatalf("unclamped k returned %d neighbors", len(got))
+	}
+}
+
+func TestWithinMatchesOracle(t *testing.T) {
+	g := testutil.SmallRoad(300, 8802)
+	loc := core.NewSpatialLocator(g)
+	rng := rand.New(rand.NewSource(7))
+	c := dijkstra.NewContext(g)
+
+	for trial := 0; trial < 20; trial++ {
+		s := graph.VertexID(rng.Intn(g.NumVertices()))
+		// A radius around the median neighbor distance so answers are
+		// non-trivial but bounded.
+		oracle10 := oracleKNN(g, s, 10)
+		if len(oracle10) == 0 {
+			continue
+		}
+		radius := oracle10[len(oracle10)-1].Dist + int64(rng.Intn(5))
+
+		c.Run([]graph.VertexID{s}, dijkstra.Options{})
+		var want []core.Neighbor
+		for v := 0; v < g.NumVertices(); v++ {
+			vid := graph.VertexID(v)
+			if vid == s {
+				continue
+			}
+			if d := c.Dist(vid); d <= radius {
+				want = append(want, core.Neighbor{V: vid, Dist: d})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Dist != want[j].Dist {
+				return want[i].Dist < want[j].Dist
+			}
+			return want[i].V < want[j].V
+		})
+
+		got, truncated, err := loc.Within(context.Background(), s, radius, core.WithinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truncated {
+			t.Fatal("uncapped Within reported truncation")
+		}
+		checkNeighbors(t, "within", got, want)
+
+		// Geometric pre-filter: answer must be the intersection with the
+		// Euclidean ball, computed here by linear scan.
+		euclid := int64(rng.Intn(40) + 1)
+		sq := euclid * euclid
+		var wantGeo []core.Neighbor
+		for _, nb := range want {
+			if rtree.DistSq(g.Coord(s), g.Coord(nb.V)) <= sq {
+				wantGeo = append(wantGeo, nb)
+			}
+		}
+		gotGeo, _, err := loc.Within(context.Background(), s, radius,
+			core.WithinOptions{EuclidRadius: euclid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkNeighbors(t, "within+prefilter", gotGeo, wantGeo)
+
+		// MaxResults truncates the sorted prefix.
+		if len(want) > 3 {
+			capped, trunc, err := loc.Within(context.Background(), s, radius,
+				core.WithinOptions{MaxResults: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !trunc {
+				t.Fatal("capped Within did not report truncation")
+			}
+			checkNeighbors(t, "within+cap", capped, want[:3])
+		}
+	}
+
+	// Non-positive radius answers empty.
+	if got, _, err := loc.Within(context.Background(), 0, 0, core.WithinOptions{}); err != nil || len(got) != 0 {
+		t.Fatalf("radius 0: got %v, %v", got, err)
+	}
+}
+
+func checkNeighbors(t *testing.T, what string, got, want []core.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d\n got %v\nwant %v", what, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %+v, want %+v", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestNearestVertexMatchesScan(t *testing.T) {
+	g := testutil.SmallRoad(200, 8803)
+	loc := core.NewSpatialLocator(g)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Point{X: rng.Int31n(2000) - 1000, Y: rng.Int31n(2000) - 1000}
+		best := graph.VertexID(-1)
+		bestD := int64(1) << 62
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := rtree.DistSq(p, g.Coord(graph.VertexID(v))); d < bestD {
+				best, bestD = graph.VertexID(v), d
+			}
+		}
+		if got := loc.NearestVertex(p); got != best {
+			t.Fatalf("NearestVertex(%+v) = %d (distSq %d), scan found %d (distSq %d)",
+				p, got, rtree.DistSq(p, g.Coord(got)), best, bestD)
+		}
+	}
+}
+
+func TestSpatialCancellation(t *testing.T) {
+	g := testutil.SmallRoad(300, 8804)
+	loc := core.NewSpatialLocator(g)
+	ix, err := core.BuildIndex(core.MethodDijkstra, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.KNearest(ctx, ix, 0, 5); err == nil {
+		t.Error("KNearest on cancelled context succeeded")
+	}
+	if _, _, err := loc.Within(ctx, 0, 1<<40, core.WithinOptions{}); err == nil {
+		t.Error("Within on cancelled context succeeded")
+	}
+}
+
+// TestSpatialConcurrent hammers one locator from many goroutines; run
+// under -race this checks the read-only concurrency contract.
+func TestSpatialConcurrent(t *testing.T) {
+	g := testutil.SmallRoad(200, 8805)
+	loc := core.NewSpatialLocator(g)
+	ix, err := core.BuildIndex(core.MethodSILC, g, core.Config{
+		SILC: silc.Options{EnableNearest: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracleKNN(g, 7, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				got, err := loc.KNearest(context.Background(), ix, 7, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Errorf("worker %d: neighbor %d = %+v, want %+v", w, j, got[j], want[j])
+						return
+					}
+				}
+				loc.NearestVertex(geom.Point{X: int32(i), Y: int32(w)})
+				if _, _, err := loc.Within(context.Background(), graph.VertexID(i), 100,
+					core.WithinOptions{EuclidRadius: 50}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSpatialLocatorFromTree(t *testing.T) {
+	g := testutil.SmallRoad(100, 8806)
+	base := core.NewSpatialLocator(g)
+	loc, err := core.NewSpatialLocatorFromTree(g, base.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loc.NearestVertex(geom.Point{X: 5, Y: 5}), base.NearestVertex(geom.Point{X: 5, Y: 5}); got != want {
+		t.Fatalf("FromTree NearestVertex = %d, want %d", got, want)
+	}
+	small := rtree.BulkLoad([]rtree.Entry{{ID: 0}}, rtree.Options{})
+	if _, err := core.NewSpatialLocatorFromTree(g, small); err == nil {
+		t.Error("mismatched tree accepted")
+	}
+}

@@ -8,6 +8,10 @@
 package dijkstra
 
 import (
+	"context"
+	"sort"
+
+	"roadnet/internal/cancel"
 	"roadnet/internal/graph"
 	"roadnet/internal/pq"
 )
@@ -134,6 +138,17 @@ type Options struct {
 // Run executes Dijkstra's algorithm from the given sources (multi-source is
 // used by preprocessing code) and returns the number of settled vertices.
 func (c *Context) Run(sources []graph.VertexID, opt Options) int {
+	n, _ := c.RunContext(context.Background(), sources, opt)
+	return n
+}
+
+// RunContext is Run with cancellation: the settle loop polls ctx every
+// cancel.Interval settles and aborts with its error, leaving the context
+// in the partial state of the interrupted search. The online spatial
+// queries (network k-NN fallback, network range) run their bounded
+// searches through this so a disconnected client stops consuming CPU
+// within a bounded number of settles.
+func (c *Context) RunContext(ctx context.Context, sources []graph.VertexID, opt Options) (int, error) {
 	c.reset()
 	for _, s := range sources {
 		c.visit(s, 0, -1)
@@ -150,32 +165,82 @@ func (c *Context) Run(sources []graph.VertexID, opt Options) int {
 	}
 	tieBound := int64(-1)
 	for !c.heap.Empty() {
+		if err := cancel.Poll(ctx, len(c.settled)); err != nil {
+			return len(c.settled), err
+		}
 		v, d := c.heap.Pop()
 		if opt.MaxDist > 0 && d > opt.MaxDist {
-			return len(c.settled)
+			return len(c.settled), nil
 		}
 		if tieBound >= 0 && d > tieBound {
-			return len(c.settled)
+			return len(c.settled), nil
 		}
 		c.settled = append(c.settled, v)
 		if haveTargets && c.targetGen[v] == c.cur {
 			remaining--
 			if remaining == 0 {
 				if !opt.SettleTies {
-					return len(c.settled)
+					return len(c.settled), nil
 				}
 				tieBound = d
 			}
 		}
 		if opt.MaxSettled > 0 && len(c.settled) >= opt.MaxSettled {
-			return len(c.settled)
+			return len(c.settled), nil
 		}
 		lo, hi := c.g.ArcsOf(v)
 		for a := lo; a < hi; a++ {
 			c.visit(c.g.Head(a), d+int64(c.g.ArcWeight(a)), int32(v))
 		}
 	}
-	return len(c.settled)
+	return len(c.settled), nil
+}
+
+// KNearest returns the k vertices nearest to s by network distance,
+// excluding s itself, ordered by (distance, id) ascending — the bounded
+// search settles until k vertices are found, then keeps settling ties of
+// the k-th distance so the (distance, id)-minimal set is exact. Distances
+// are available via Dist afterwards. This is the oracle the spatial tier
+// falls back to when the index cannot accelerate k-NN, and the ground
+// truth its accelerated answers must match bit for bit.
+func (c *Context) KNearest(ctx context.Context, s graph.VertexID, k int) ([]graph.VertexID, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	c.reset()
+	c.visit(s, 0, -1)
+	out := make([]graph.VertexID, 0, k)
+	bound := int64(-1)
+	for !c.heap.Empty() {
+		if err := cancel.Poll(ctx, len(c.settled)); err != nil {
+			return nil, err
+		}
+		v, d := c.heap.Pop()
+		if bound >= 0 && d > bound {
+			break
+		}
+		c.settled = append(c.settled, v)
+		if v != s {
+			out = append(out, v)
+			if len(out) == k && bound < 0 {
+				bound = d // settle remaining ties of the k-th distance
+			}
+		}
+		lo, hi := c.g.ArcsOf(v)
+		for a := lo; a < hi; a++ {
+			c.visit(c.g.Head(a), d+int64(c.g.ArcWeight(a)), int32(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c.dist[out[i]] != c.dist[out[j]] {
+			return c.dist[out[i]] < c.dist[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
 }
 
 // ShortestPath runs a single-pair query and returns the path and distance,

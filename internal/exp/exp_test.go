@@ -74,8 +74,8 @@ func TestByID(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(ids))
+	if len(ids) != 16 {
+		t.Errorf("expected 16 experiments, got %d", len(ids))
 	}
 }
 

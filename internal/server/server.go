@@ -9,8 +9,20 @@
 //	GET  /v1/route?from=ID&to=ID        shortest path query (§2)
 //	GET  /v1/nearest?x=X&y=Y            nearest vertex to a coordinate
 //	GET  /v1/stats                      index and graph statistics
+//	POST /v1/knn                        network k-nearest neighbors
+//	POST /v1/within                     network range (vertices within a distance)
 //	POST /v1/batch/distance             source x target distance matrix
 //	POST /v1/batch/route                source x target full-path matrix
+//
+// Spatial tier: /v1/nearest snaps coordinates through a core.SpatialLocator
+// (an STR-packed R-tree over the vertex coordinates — point location is
+// O(log n), not a grid scan), /v1/route accepts from_x/from_y (to_x/to_y)
+// coordinate endpoints snapped the same way, and /v1/knn + /v1/within
+// answer the Appendix A "nearest restaurant at driving distance" workload:
+// k-NN by network distance (SILC distance browsing seeded with R-tree
+// candidates when the index supports it, bounded Dijkstra otherwise — the
+// answers are bit-identical either way) and network range with an optional
+// R-tree geometric pre-filter.
 //
 // Concurrency: the index data of every technique is immutable after
 // construction, so the server shares one Index across all request
@@ -46,6 +58,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"roadnet/internal/core"
 	"roadnet/internal/geom"
@@ -66,6 +79,15 @@ const (
 	DefaultMaxBatchBody       = 16 << 20
 )
 
+// DefaultMaxKNN caps the k of one /v1/knn request and
+// DefaultMaxWithinResults the neighbor count of one /v1/within response:
+// k-NN cost grows with k on every engine, and a range answer is O(results)
+// JSON. Override with WithSpatialLimits.
+const (
+	DefaultMaxKNN           = 1 << 10
+	DefaultMaxWithinResults = 1 << 12
+)
+
 // DefaultBatchRouteVertexBudget caps the total number of path vertices one
 // batch route response may carry (~4M vertices is tens of MB of JSON). The
 // response is streamed, so the budget bounds bytes on the wire rather than
@@ -83,12 +105,15 @@ type Server struct {
 	g       *graph.Graph
 	idx     core.Index
 	pool    *core.Pool
-	locator *graph.Locator
+	spatial *core.SpatialLocator
 
 	maxBatchPairs      int
 	maxBatchRoutePairs int
 	maxBatchBody       int64
 	routeVertexBudget  int64
+	maxKNN             int
+	maxWithinResults   int
+	requestTimeout     time.Duration
 }
 
 // Option configures New.
@@ -139,6 +164,39 @@ func WithBatchRouteVertexBudget(n int64) Option {
 	}
 }
 
+// WithRequestTimeout puts a server-side deadline on every request: the
+// request context is wrapped in a timeout and the PR-3 cancellation
+// plumbing does the rest — a query running past the deadline is aborted at
+// its next poll and answered 503. Values <= 0 disable the deadline
+// (client-side cancellation still applies).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithSpatialLimits overrides the spatial query guards: maxK caps the k of
+// one /v1/knn request, maxResults the neighbor count of one /v1/within
+// response (larger answers are truncated and flagged). Values <= 0 keep
+// the corresponding default.
+func WithSpatialLimits(maxK, maxResults int) Option {
+	return func(s *Server) {
+		if maxK > 0 {
+			s.maxKNN = maxK
+		}
+		if maxResults > 0 {
+			s.maxWithinResults = maxResults
+		}
+	}
+}
+
+// WithSpatialLocator serves spatial queries from a caller-built locator —
+// typically one wrapping an mmap-loaded R-tree (core.
+// NewSpatialLocatorFromTree) or a custom node capacity — instead of the
+// default STR bulk load over the graph. The locator must wrap the same
+// graph the server is given.
+func WithSpatialLocator(loc *core.SpatialLocator) Option {
+	return func(s *Server) { s.spatial = loc }
+}
+
 // New returns a server for the given graph and index. The index is shared;
 // all per-query state comes from a searcher pool, so the handler serves any
 // number of requests concurrently.
@@ -146,11 +204,12 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 	s := &Server{
 		g:                  g,
 		idx:                idx,
-		locator:            graph.NewLocator(g, 0),
 		maxBatchPairs:      DefaultMaxBatchPairs,
 		maxBatchRoutePairs: DefaultMaxBatchRoutePairs,
 		maxBatchBody:       DefaultMaxBatchBody,
 		routeVertexBudget:  DefaultBatchRouteVertexBudget,
+		maxKNN:             DefaultMaxKNN,
+		maxWithinResults:   DefaultMaxWithinResults,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -161,19 +220,32 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 	if s.pool == nil {
 		s.pool = core.NewPool(idx)
 	}
+	if s.spatial == nil {
+		s.spatial = core.NewSpatialLocator(g)
+	}
 	return s
 }
 
-// Handler returns the HTTP handler with all routes registered.
+// Handler returns the HTTP handler with all routes registered, wrapped in
+// the per-request deadline middleware when one is configured.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/distance", s.handleDistance)
 	mux.HandleFunc("GET /v1/route", s.handleRoute)
 	mux.HandleFunc("GET /v1/nearest", s.handleNearest)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/knn", s.handleKNN)
+	mux.HandleFunc("POST /v1/within", s.handleWithin)
 	mux.HandleFunc("POST /v1/batch/distance", s.handleBatchDistance)
 	mux.HandleFunc("POST /v1/batch/route", s.handleBatchRoute)
-	return mux
+	if s.requestTimeout <= 0 {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 type errorResponse struct {
@@ -258,30 +330,76 @@ type routeResponse struct {
 	Coords    [][2]int32       `json:"coords,omitempty"`
 }
 
+// endpointParam resolves one route endpoint: a vertex id (?from=ID) or a
+// coordinate snapped to its nearest vertex (?from_x=X&from_y=Y) through
+// the R-tree locator.
+func (s *Server) endpointParam(r *http.Request, name string) (graph.VertexID, error) {
+	q := r.URL.Query()
+	if q.Get(name) != "" {
+		if q.Get(name+"_x") != "" || q.Get(name+"_y") != "" {
+			return 0, fmt.Errorf("give either %q or %s_x/%s_y, not both", name, name, name)
+		}
+		return s.vertexParam(r, name)
+	}
+	xs, ys := q.Get(name+"_x"), q.Get(name+"_y")
+	if xs == "" && ys == "" {
+		return 0, fmt.Errorf("missing parameter %q (or %s_x and %s_y)", name, name, name)
+	}
+	x, errX := strconv.ParseInt(xs, 10, 32)
+	y, errY := strconv.ParseInt(ys, 10, 32)
+	if errX != nil || errY != nil {
+		return 0, fmt.Errorf("parameters %s_x and %s_y must both be integers", name, name)
+	}
+	v := s.spatial.NearestVertex(geom.Point{X: int32(x), Y: int32(y)})
+	if v < 0 {
+		return 0, fmt.Errorf("cannot snap %s_x/%s_y: empty graph", name, name)
+	}
+	return v, nil
+}
+
+// handleRoute answers one shortest-path query. The endpoints may be vertex
+// ids or raw coordinates (from_x/from_y, to_x/to_y) snapped to their
+// nearest vertices. The response is filled from the lazy PathIterator in a
+// single pass — vertices and coords grow together as the path streams out
+// of the searcher, instead of materializing the whole path first and
+// walking it again for coordinates.
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
-	from, err := s.vertexParam(r, "from")
+	from, err := s.endpointParam(r, "from")
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	to, err := s.vertexParam(r, "to")
+	to, err := s.endpointParam(r, "to")
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	path, d, err := s.pool.ShortestPathContext(r.Context(), from, to)
+	sr, err := s.pool.GetContext(r.Context())
 	if err != nil {
 		writeAborted(w, err)
 		return
 	}
-	resp := routeResponse{From: from, To: to, Reachable: path != nil}
-	if path != nil {
+	defer s.pool.Put(sr)
+	it, d, err := core.OpenPath(r.Context(), sr, from, to)
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	resp := routeResponse{From: from, To: to, Reachable: it != nil}
+	if it != nil {
 		resp.Distance = d
-		resp.Vertices = path
-		resp.Coords = make([][2]int32, len(path))
-		for i, v := range path {
+		for {
+			v, ok := it.Next()
+			if !ok {
+				break
+			}
 			p := s.g.Coord(v)
-			resp.Coords[i] = [2]int32{p.X, p.Y}
+			resp.Vertices = append(resp.Vertices, v)
+			resp.Coords = append(resp.Coords, [2]int32{p.X, p.Y})
+		}
+		if err := it.Err(); err != nil {
+			writeAborted(w, err)
+			return
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -445,6 +563,8 @@ type nearestResponse struct {
 	Y      int32          `json:"y"`
 }
 
+// handleNearest snaps a coordinate to its nearest vertex via the R-tree
+// locator (best-first MBR browsing; ties broken by smaller vertex id).
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	x, errX := strconv.ParseInt(q.Get("x"), 10, 32)
@@ -453,7 +573,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"parameters x and y must be integers"})
 		return
 	}
-	v := s.locator.Nearest(geom.Point{X: int32(x), Y: int32(y)})
+	v := s.spatial.NearestVertex(geom.Point{X: int32(x), Y: int32(y)})
 	if v < 0 {
 		writeJSON(w, http.StatusNotFound, errorResponse{"empty graph"})
 		return

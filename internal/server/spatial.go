@@ -1,0 +1,207 @@
+package server
+
+// The spatial endpoints: /v1/knn (network k-nearest neighbors) and
+// /v1/within (network range). Both POST one strict JSON object — same
+// rules as the batch endpoints: unknown fields and trailing data are 400,
+// an oversized body is 413 — and both accept the query point either as a
+// vertex id or as a raw coordinate snapped through the R-tree. The
+// searches run on the core.SpatialLocator with the request context
+// propagated, so they observe the pool's admission bound, the per-request
+// deadline and client disconnects like every other query.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"roadnet/internal/core"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+)
+
+// spatialPoint is the shared "where" of a spatial request: exactly one of
+// Source (a vertex id) or the X/Y coordinate pair (snapped to its nearest
+// vertex).
+type spatialPoint struct {
+	Source *int64 `json:"source"`
+	X      *int32 `json:"x"`
+	Y      *int32 `json:"y"`
+}
+
+// resolve validates the point and returns the query vertex.
+func (p *spatialPoint) resolve(s *Server) (graph.VertexID, error) {
+	switch {
+	case p.Source != nil:
+		if p.X != nil || p.Y != nil {
+			return 0, errors.New(`give either "source" or "x"/"y", not both`)
+		}
+		id := *p.Source
+		if id < 0 || id >= int64(s.g.NumVertices()) {
+			return 0, fmt.Errorf("vertex %d out of range [0, %d)", id, s.g.NumVertices())
+		}
+		return graph.VertexID(id), nil
+	case p.X != nil && p.Y != nil:
+		v := s.spatial.NearestVertex(geom.Point{X: *p.X, Y: *p.Y})
+		if v < 0 {
+			return 0, errors.New("cannot snap coordinate: empty graph")
+		}
+		return v, nil
+	default:
+		return 0, errors.New(`need "source", or both "x" and "y"`)
+	}
+}
+
+// decodeStrict decodes exactly one JSON object into v under the batch-body
+// byte limit, writing the error response itself on failure (413 for an
+// oversized body, 400 otherwise).
+func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{err.Error()})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: " + err.Error()})
+		return false
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"invalid JSON: trailing data after request object"})
+		return false
+	}
+	return true
+}
+
+type knnRequest struct {
+	spatialPoint
+	K int `json:"k"`
+}
+
+// neighborEntry is one (vertex, network distance) result.
+type neighborEntry struct {
+	Vertex   graph.VertexID `json:"vertex"`
+	Distance int64          `json:"distance"`
+}
+
+type knnResponse struct {
+	Source    graph.VertexID  `json:"source"`
+	K         int             `json:"k"`
+	Neighbors []neighborEntry `json:"neighbors"`
+}
+
+// handleKNN answers the k vertices nearest to the query point by network
+// distance, ordered by (distance, id) — bit-identical across index
+// techniques (the acceptance contract of the spatial tier). The query
+// holds a pool searcher slot for admission control even on the paths that
+// do not use it, so a bounded pool bounds spatial work too.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req knnRequest
+	if !s.decodeStrict(w, r, &req) {
+		return
+	}
+	if req.K < 1 || req.K > s.maxKNN {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"k must be in [1, %d], got %d", s.maxKNN, req.K)})
+		return
+	}
+	src, err := req.resolve(s)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	sr, err := s.pool.GetContext(r.Context())
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	defer s.pool.Put(sr)
+	neighbors, err := s.spatial.KNearest(r.Context(), s.idx, src, req.K)
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	resp := knnResponse{Source: src, K: req.K, Neighbors: make([]neighborEntry, len(neighbors))}
+	for i, nb := range neighbors {
+		resp.Neighbors[i] = neighborEntry{Vertex: nb.V, Distance: nb.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type withinRequest struct {
+	spatialPoint
+	// Radius is the network-distance bound (required, positive).
+	Radius int64 `json:"radius"`
+	// EuclidRadius, when positive, intersects the answer with the
+	// Euclidean ball of that radius around the query point (R-tree
+	// pre-filter; the bounded search stops once all geometric candidates
+	// are proven).
+	EuclidRadius int64 `json:"euclid_radius"`
+	// Limit caps the neighbor count (0 = the server's maximum). Values
+	// above the server's maximum are clamped to it.
+	Limit int `json:"limit"`
+}
+
+type withinResponse struct {
+	Source    graph.VertexID  `json:"source"`
+	Radius    int64           `json:"radius"`
+	Count     int             `json:"count"`
+	Truncated bool            `json:"truncated"`
+	Neighbors []neighborEntry `json:"neighbors"`
+}
+
+// handleWithin answers the vertices within a network distance of the query
+// point via a bounded Dijkstra, ordered by (distance, id). Truncated
+// responses (over the limit) keep the closest neighbors and say so.
+func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
+	var req withinRequest
+	if !s.decodeStrict(w, r, &req) {
+		return
+	}
+	if req.Radius < 1 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"radius must be positive, got %d", req.Radius)})
+		return
+	}
+	if req.EuclidRadius < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf(
+			"euclid_radius must not be negative, got %d", req.EuclidRadius)})
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > s.maxWithinResults {
+		limit = s.maxWithinResults
+	}
+	src, err := req.resolve(s)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	sr, err := s.pool.GetContext(r.Context())
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	defer s.pool.Put(sr)
+	neighbors, truncated, err := s.spatial.Within(r.Context(), src, req.Radius, core.WithinOptions{
+		EuclidRadius: req.EuclidRadius,
+		MaxResults:   limit,
+	})
+	if err != nil {
+		writeAborted(w, err)
+		return
+	}
+	resp := withinResponse{
+		Source:    src,
+		Radius:    req.Radius,
+		Count:     len(neighbors),
+		Truncated: truncated,
+		Neighbors: make([]neighborEntry, len(neighbors)),
+	}
+	for i, nb := range neighbors {
+		resp.Neighbors[i] = neighborEntry{Vertex: nb.V, Distance: nb.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -87,6 +87,20 @@
 // internal/server, cmd/spserve) hold only a bounded window of even a
 // continent-length path. The streamed vertex sequence is bit-identical to
 // ShortestPath's.
+//
+// # Spatial queries
+//
+// NewSpatialLocator builds the spatial query tier: an immutable R-tree
+// over the vertex coordinates answering point location (NearestVertex —
+// snap a raw coordinate to the network), geometric candidate generation,
+// and, composed with the network engines, network-distance k-nearest
+// neighbors (KNearest, SILC-accelerated when the index was built with
+// SILCOptions{EnableNearest: true}) and network range queries (Within,
+// with an optional Euclidean pre-filter). Geometry only ever prunes
+// candidates; every returned distance is an exact network distance, and
+// answers are bit-identical across index techniques. SaveRTree and
+// LoadRTreeFile persist the tree in the flat v2 mmap format alongside the
+// graph and index caches.
 package roadnet
 
 import (
@@ -100,8 +114,10 @@ import (
 	"roadnet/internal/ch"
 	"roadnet/internal/core"
 	"roadnet/internal/gen"
+	"roadnet/internal/geom"
 	"roadnet/internal/graph"
 	"roadnet/internal/pcpd"
+	"roadnet/internal/rtree"
 	"roadnet/internal/silc"
 	"roadnet/internal/tnr"
 	"roadnet/internal/workload"
@@ -314,16 +330,16 @@ func DistanceMatrixContext(ctx context.Context, idx Index, sources, targets []Ve
 	return core.NewPool(idx).BatchDistance(ctx, sources, targets)
 }
 
-// Neighbor is one result of a NearestK query.
-type Neighbor struct {
-	V    VertexID
-	Dist int64
-}
+// Neighbor is one (vertex, network distance) result of a spatial query,
+// ordered by (distance, id).
+type Neighbor = core.Neighbor
 
 // NearestK answers a k-nearest-neighbor query by network distance: the k
 // vertices closest to s, ascending. It requires a SILC index built with
 // SILCOptions{EnableNearest: true} (the paper's Appendix A notes SILC's
-// suitability for nearest-neighbor queries).
+// suitability for nearest-neighbor queries). For a technique-independent
+// k-NN engine (with SILC acceleration when available), use a
+// SpatialLocator's KNearest.
 func NearestK(idx Index, s VertexID, k int) ([]Neighbor, error) {
 	sx := core.SILCOf(idx)
 	if sx == nil {
@@ -338,6 +354,55 @@ func NearestK(idx Index, s VertexID, k int) ([]Neighbor, error) {
 		out[i] = Neighbor{V: nb.V, Dist: nb.Dist}
 	}
 	return out, nil
+}
+
+// Point is a planar vertex coordinate.
+type Point = geom.Point
+
+// SpatialLocator is the spatial query tier over one graph: an immutable
+// R-tree over the vertex coordinates (point location, geometric k-NN and
+// radius search) composed with the network-distance engines (KNearest,
+// Within). Geometry only ever prunes; network distances decide. A locator
+// is safe for concurrent use.
+type SpatialLocator = core.SpatialLocator
+
+// SpatialOption configures NewSpatialLocator.
+type SpatialOption = core.SpatialOption
+
+// WithRTreeNodeCapacity sets the R-tree node capacity (default 16,
+// minimum 4).
+func WithRTreeNodeCapacity(m int) SpatialOption { return core.WithRTreeNodeCapacity(m) }
+
+// WithinOptions tunes SpatialLocator.Within: an optional Euclidean
+// pre-filter radius and a result cap.
+type WithinOptions = core.WithinOptions
+
+// NewSpatialLocator bulk-loads an R-tree over g's vertex coordinates.
+func NewSpatialLocator(g *Graph, opts ...SpatialOption) *SpatialLocator {
+	return core.NewSpatialLocator(g, opts...)
+}
+
+// RTree is an immutable R-tree over (point, id) entries — the geometric
+// index behind SpatialLocator, reusable standalone. See internal/rtree for
+// the construction and query API.
+type RTree = rtree.Tree
+
+// SaveRTree writes a SpatialLocator's R-tree as a flat v2 container, so
+// deployments can bulk-load once and mmap at every startup
+// (LoadRTreeFile + NewSpatialLocatorFromTree).
+func SaveRTree(w io.Writer, t *RTree) error { return t.Save(w) }
+
+// LoadRTreeFile maps (or, with preferMmap false or where unsupported,
+// reads) an R-tree file written by SaveRTree. Call Close on the tree when
+// it is retired to release a mapping.
+func LoadRTreeFile(path string, preferMmap bool) (*RTree, error) {
+	return rtree.LoadFile(path, preferMmap)
+}
+
+// NewSpatialLocatorFromTree wraps a previously saved (possibly mmap'd)
+// R-tree; the tree must index exactly g's vertices.
+func NewSpatialLocatorFromTree(g *Graph, t *RTree) (*SpatialLocator, error) {
+	return core.NewSpatialLocatorFromTree(g, t)
 }
 
 // QueryPair is one (source, target) query.
