@@ -51,14 +51,37 @@
 // total-vertex budget (-route-vertex-budget) caps how much path data one
 // request may produce. Request contexts are propagated into every query,
 // so disconnected clients stop consuming CPU mid-search.
+//
+// # Production resilience
+//
+// Flat-file checksums are verified at load by default (-verify=false
+// defers the sweep, keeping mapped startups O(#sections); spverify audits
+// such files offline). A corrupt index file does not stop the boot: the
+// server falls back to exact answers from a Dijkstra index and reports
+// "degraded":true on /readyz, so the fleet keeps answering while the
+// operator rebuilds the file. GET /healthz is liveness (always 200 while
+// the process serves); GET /readyz is readiness (503 while draining).
+// -rate-limit/-rate-burst bound each client's admission (429 with
+// Retry-After beyond the budget), and handler panics answer 500 without
+// taking down the process.
+//
+// On SIGINT/SIGTERM the server drains instead of dying mid-request:
+// /readyz flips to 503 so balancers stop routing, the listener closes,
+// in-flight requests run to completion (bounded by -drain-timeout), and
+// only then are the mmap'd graph, index and R-tree files unmapped. A
+// second signal aborts immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"roadnet"
@@ -84,10 +107,19 @@ func main() {
 		rtreePath   = flag.String("rtree", "", "R-tree file: load (mmap) if present, else bulk-load from the graph and save")
 		knnMax      = flag.Int("knn-max", server.DefaultMaxKNN, "max k accepted by /v1/knn")
 		withinMax   = flag.Int("within-max", server.DefaultMaxWithinResults, "max neighbors one /v1/within response may carry (larger answers truncate)")
+		verify      = flag.Bool("verify", true, "verify flat-file checksums at load; -verify=false keeps mapped startups O(#sections) at the cost of trusting the bytes (audit later with spverify)")
+		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "max time to let in-flight requests finish after SIGTERM/SIGINT before closing their connections")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client admission rate in requests/sec (0 = unlimited); clients over their budget get 429 with Retry-After")
+		rateBurst   = flag.Int("rate-burst", 10, "per-client burst allowance when -rate-limit is set")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*preset, *grPath, *coPath, *graphPath, *useMmap)
+	var openOpts []roadnet.OpenOption
+	if !*verify {
+		openOpts = append(openOpts, roadnet.WithoutVerify())
+	}
+
+	g, err := loadGraph(*preset, *grPath, *coPath, *graphPath, *useMmap, openOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -96,7 +128,7 @@ func main() {
 
 	cfg := roadnet.Config{}
 	cfg.SILC.EnableNearest = *knnNearest
-	idx, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap, cfg)
+	idx, idxVerified, degraded, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap, openOpts, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -117,10 +149,20 @@ func main() {
 		fmt.Println()
 	}
 
-	loc, err := loadOrBuildLocator(g, *rtreePath, *useMmap)
+	loc, err := loadOrBuildLocator(g, *rtreePath, *useMmap, openOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// The readiness report's verified flag means: every byte this process
+	// serves from is known-good — built in-process, or checksum-verified
+	// off disk. Loads that skipped verification (or legacy checksum-less
+	// files) clear it.
+	health := server.NewHealth()
+	health.SetVerified(idxVerified && g.Verified() && loc.Tree().Verified())
+	if degraded != "" {
+		health.SetDegraded(degraded)
 	}
 
 	srvOpts := []server.Option{
@@ -128,56 +170,121 @@ func main() {
 		server.WithBatchRouteVertexBudget(*routeBudget),
 		server.WithSpatialLocator(loc),
 		server.WithSpatialLimits(*knnMax, *withinMax),
+		server.WithHealth(health),
 	}
 	if *reqTimeout > 0 {
 		srvOpts = append(srvOpts, server.WithRequestTimeout(*reqTimeout))
 	}
+	if *rateLimit > 0 {
+		srvOpts = append(srvOpts, server.WithRateLimit(*rateLimit, *rateBurst))
+	}
 	srv := server.New(g, idx, srvOpts...)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	fmt.Printf("listening on %s, serving concurrently on up to %d cores\n", *addr, runtime.GOMAXPROCS(0))
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	select {
+	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
-}
 
-func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool, cfg roadnet.Config) (core.Index, error) {
-	if indexPath != "" {
-		if _, err := os.Stat(indexPath); err == nil {
-			idx, info, err := roadnet.LoadIndexFile(method, indexPath, g, useMmap)
-			if err != nil {
-				return nil, fmt.Errorf("loading %s: %w", indexPath, err)
-			}
-			fmt.Printf("load: index %s via %s in %v (%d KB on disk)\n",
-				indexPath, info.Mode(), info.LoadTime.Round(time.Microsecond), info.SizeBytes/1024)
-			return idx, nil
+	// Drain: flip readiness first so balancers stop routing, then close the
+	// listener and let in-flight requests run to completion. stop() restores
+	// default signal handling, so a second signal aborts immediately.
+	stop()
+	health.SetDraining()
+	fmt.Printf("shutdown: signal received, draining in-flight requests (up to %v)\n", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: drain incomplete: %v\n", err)
+		code = 1
+	}
+
+	// Only after the last request finished is it safe to unmap the files
+	// the serving data structures alias.
+	for _, c := range []struct {
+		name  string
+		close func() error
+	}{
+		{"index", func() error { return roadnet.CloseIndex(idx) }},
+		{"rtree", loc.Tree().Close},
+		{"graph", g.Close},
+	} {
+		if err := c.close(); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: closing %s: %v\n", c.name, err)
+			code = 1
 		}
 	}
-	idx, err := roadnet.NewIndex(method, g, cfg)
+	if code == 0 {
+		fmt.Println("shutdown: drained cleanly")
+	}
+	os.Exit(code)
+}
+
+// buildOrLoad resolves the serving index. A readable index file is loaded
+// (checksum-verified unless -verify=false); a corrupt one does not stop
+// the boot — the server degrades to exact answers from a Dijkstra index
+// and reports the reason on /readyz, keeping the endpoint answering while
+// the operator rebuilds the file. The degraded return carries that reason
+// ("" when healthy); verified reports whether the index bytes are
+// known-good (built in-process, or checksum-verified off disk).
+func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool, openOpts []roadnet.OpenOption, cfg roadnet.Config) (idx core.Index, verified bool, degraded string, err error) {
+	if indexPath != "" {
+		if _, statErr := os.Stat(indexPath); statErr == nil {
+			idx, info, err := roadnet.LoadIndexFile(method, indexPath, g, useMmap, openOpts...)
+			if err == nil {
+				fmt.Printf("load: index %s via %s in %v (%d KB on disk)\n",
+					indexPath, info.Mode(), info.LoadTime.Round(time.Microsecond), info.SizeBytes/1024)
+				return idx, info.Verified, "", nil
+			}
+			if !errors.Is(err, roadnet.ErrCorrupt) {
+				return nil, false, "", fmt.Errorf("loading %s: %w", indexPath, err)
+			}
+			degraded = fmt.Sprintf("index file %s is corrupt, serving exact Dijkstra answers", indexPath)
+			fmt.Fprintf(os.Stderr, "load: %s: %v\ndegraded: falling back to a Dijkstra index; rebuild the file and restart to restore %s\n",
+				indexPath, err, method)
+			fallback, buildErr := roadnet.NewIndex(roadnet.Dijkstra, g, roadnet.Config{})
+			if buildErr != nil {
+				return nil, false, "", buildErr
+			}
+			return fallback, true, degraded, nil
+		}
+	}
+	idx, err = roadnet.NewIndex(method, g, cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, "", err
 	}
 	if indexPath != "" {
 		f, err := os.Create(indexPath)
 		if err != nil {
-			return nil, err
+			return nil, false, "", err
 		}
 		defer f.Close()
 		if err := roadnet.SaveIndex(idx, f); err != nil {
-			return nil, fmt.Errorf("saving %s: %w", indexPath, err)
+			return nil, false, "", fmt.Errorf("saving %s: %w", indexPath, err)
 		}
 		fmt.Printf("saved index to %s\n", indexPath)
 	}
-	return idx, nil
+	return idx, true, "", nil
 }
 
 // loadOrBuildLocator resolves the spatial tier: the R-tree cache when
 // present (mmap'd flat v2, O(#sections) startup), otherwise an STR bulk
 // load over the graph's coordinates — saved back when -rtree is set.
-func loadOrBuildLocator(g *roadnet.Graph, rtreePath string, useMmap bool) (*roadnet.SpatialLocator, error) {
+func loadOrBuildLocator(g *roadnet.Graph, rtreePath string, useMmap bool, openOpts []roadnet.OpenOption) (*roadnet.SpatialLocator, error) {
 	if rtreePath != "" {
 		if _, err := os.Stat(rtreePath); err == nil {
 			start := time.Now()
-			t, err := roadnet.LoadRTreeFile(rtreePath, useMmap)
+			t, err := roadnet.LoadRTreeFile(rtreePath, useMmap, openOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("loading %s: %w", rtreePath, err)
 			}
@@ -212,11 +319,11 @@ func loadOrBuildLocator(g *roadnet.Graph, rtreePath string, useMmap bool) (*road
 // loadGraph resolves the network: the binary graph cache when present
 // (mmap'd flat CSR, skipping DIMACS text parsing), otherwise the preset or
 // DIMACS source — saved back to the cache when -graph is set.
-func loadGraph(preset, grPath, coPath, graphPath string, useMmap bool) (*roadnet.Graph, error) {
+func loadGraph(preset, grPath, coPath, graphPath string, useMmap bool, openOpts []roadnet.OpenOption) (*roadnet.Graph, error) {
 	if graphPath != "" {
 		if _, err := os.Stat(graphPath); err == nil {
 			start := time.Now()
-			g, err := roadnet.LoadGraphFile(graphPath, useMmap)
+			g, err := roadnet.LoadGraphFile(graphPath, useMmap, openOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("loading %s: %w", graphPath, err)
 			}

@@ -40,7 +40,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -59,6 +61,19 @@ const flatHeaderSize = 40
 
 // flatEntrySize is one section-table entry.
 const flatEntrySize = 24
+
+// FlagChecksums marks a container that carries CRC32C (Castagnoli)
+// checksums: each section-table entry stores its section's payload CRC in
+// the formerly-reserved pad slot, and a u32 CRC covering the header, the
+// section table and the meta blob follows immediately after the blob.
+// Readers that predate checksums ignore both locations, so checksummed
+// files stay loadable by old binaries, and checksum-less files (flag
+// clear) keep loading here with verification as a no-op.
+const FlagChecksums = 1 << 0
+
+// castagnoli is the CRC32C polynomial table; hash/crc32 uses the hardware
+// CRC32 instruction for it where available.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // SectionKind tags the element type of a section.
 type SectionKind uint32
@@ -124,6 +139,11 @@ type FlatWriter struct {
 	meta     *Writer
 	metaBuf  sliceWriter
 	sections []flatSection
+	// noChecksums reproduces the pre-checksum v2 layout (flags 0, zero pad
+	// slots). It is reachable only from this package's tests, which use it
+	// to cover the legacy-file acceptance path; production savers always
+	// checksum.
+	noChecksums bool
 }
 
 type flatSection struct {
@@ -175,38 +195,66 @@ func (fw *FlatWriter) add(kind SectionKind, data []byte) int {
 }
 
 // WriteTo writes the container. The FlatWriter must not be reused after.
+// Every section's CRC32C is recorded in its table entry and a trailing CRC
+// covering the header, table and meta blob follows the blob, so a loader
+// (or spverify) can detect any flipped byte in the file.
 func (fw *FlatWriter) WriteTo(w io.Writer) (int64, error) {
 	if err := fw.meta.Flush(); err != nil {
 		return 0, err
 	}
 	meta := fw.metaBuf.b
 
-	tableEnd := int64(flatHeaderSize + flatEntrySize*len(fw.sections))
-	metaOff := tableEnd
-	cursor := align64(metaOff + int64(len(meta)))
+	metaOff := int64(flatHeaderSize + flatEntrySize*len(fw.sections))
+	metaEnd := metaOff + int64(len(meta))
+	var flags uint32
+	if !fw.noChecksums {
+		flags = FlagChecksums
+		metaEnd += 4 // the trailing header/meta CRC32C
+	}
+	cursor := align64(metaEnd)
 	offsets := make([]int64, len(fw.sections))
 	for i, s := range fw.sections {
 		offsets[i] = cursor
 		cursor = align64(cursor + int64(len(s.data)))
 	}
 
-	bw := NewWriter(w)
-	bw.Magic(FlatMagic)
-	bw.U32(fw.fourcc)
-	bw.U32(FlatVersion)
-	bw.U32(uint32(len(fw.sections)))
-	bw.U32(0) // flags
-	bw.I64(metaOff)
-	bw.I64(int64(len(meta)))
+	// The header and table are built in memory first: the table carries
+	// each section's checksum and the trailing CRC covers the final header
+	// bytes, so nothing can stream out before every checksum is known.
+	var hbuf sliceWriter
+	hw := NewWriter(&hbuf)
+	hw.Magic(FlatMagic)
+	hw.U32(fw.fourcc)
+	hw.U32(FlatVersion)
+	hw.U32(uint32(len(fw.sections)))
+	hw.U32(flags)
+	hw.I64(metaOff)
+	hw.I64(int64(len(meta)))
 	for i, s := range fw.sections {
-		bw.U32(uint32(s.kind))
-		bw.U32(0)
-		bw.I64(offsets[i])
-		bw.I64(int64(len(s.data)))
+		hw.U32(uint32(s.kind))
+		if fw.noChecksums {
+			hw.U32(0)
+		} else {
+			hw.U32(crc32.Checksum(s.data, castagnoli))
+		}
+		hw.I64(offsets[i])
+		hw.I64(int64(len(s.data)))
 	}
-	written := tableEnd
+	if err := hw.Flush(); err != nil {
+		return 0, err
+	}
+
+	bw := NewWriter(w)
+	bw.write(hbuf.b)
 	bw.write(meta)
-	written += int64(len(meta))
+	written := metaOff + int64(len(meta))
+	if !fw.noChecksums {
+		crc := crc32.Update(crc32.Checksum(hbuf.b, castagnoli), castagnoli, meta)
+		var cb [4]byte
+		binary.LittleEndian.PutUint32(cb[:], crc)
+		bw.write(cb[:])
+		written += 4
+	}
 	var pad [flatAlign]byte
 	for i, s := range fw.sections {
 		bw.write(pad[:offsets[i]-written])
@@ -230,14 +278,20 @@ func align64(off int64) int64 {
 type FlatFile struct {
 	data     []byte
 	fourcc   uint32
+	flags    uint32
+	metaEnd  int64 // one past the meta blob: where the header CRC lives
 	meta     []byte
 	secs     []parsedSection
 	zeroCopy bool         // sections may alias data
+	closed   atomic.Bool  // makes Close idempotent, even under races
+	verified atomic.Bool  // a full Verify pass has succeeded
 	unmap    func() error // non-nil when Close must release an mmap
 }
 
 type parsedSection struct {
 	kind SectionKind
+	crc  uint32 // stored CRC32C of data; meaningful only with FlagChecksums
+	off  int64  // payload offset in the container
 	data []byte
 }
 
@@ -249,8 +303,24 @@ func IsFlat(b []byte) bool {
 // ParseFlat parses a flat container held in data. When zeroCopy is true
 // (data is mmap'd or otherwise long-lived), section accessors cast in
 // place where alignment and host endianness allow; otherwise they copy.
-// The returned FlatFile keeps a reference to data either way.
+// The returned FlatFile keeps a reference to data either way. Checksummed
+// containers are verified eagerly — ParseFlat serves the stream-read
+// paths, where the bytes are already resident and the verification pass
+// is one CRC sweep; OpenFlat controls the policy for mapped files.
 func ParseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
+	f, err := parseFlat(data, zeroCopy)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Verify(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseFlat parses the header and section table without touching (or
+// verifying) the section payloads.
+func parseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
 	if !IsFlat(data) {
 		return nil, ErrNotFlat
 	}
@@ -265,6 +335,7 @@ func ParseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
 			ErrVersion, v, FlatVersion)
 	}
 	count := int64(le.Uint32(data[16:]))
+	f.flags = le.Uint32(data[20:])
 	size := int64(len(data))
 	if flatHeaderSize+count*flatEntrySize > size {
 		return nil, fmt.Errorf("%w: section table (%d sections) exceeds file size %d",
@@ -277,10 +348,16 @@ func ParseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
 			ErrCorrupt, metaOff, metaLen, size)
 	}
 	f.meta = data[metaOff : metaOff+metaLen]
+	f.metaEnd = metaOff + metaLen
+	if f.flags&FlagChecksums != 0 && f.metaEnd+4 > size {
+		return nil, fmt.Errorf("%w: checksummed container truncated before its header checksum",
+			ErrCorrupt)
+	}
 	f.secs = make([]parsedSection, count)
 	for i := range f.secs {
 		entry := data[flatHeaderSize+int64(i)*flatEntrySize:]
 		kind := SectionKind(le.Uint32(entry))
+		crc := le.Uint32(entry[4:])
 		off := int64(le.Uint64(entry[8:]))
 		n := int64(le.Uint64(entry[16:]))
 		es := kind.elemSize()
@@ -295,20 +372,57 @@ func ParseFlat(data []byte, zeroCopy bool) (*FlatFile, error) {
 			return nil, fmt.Errorf("%w: section %d length %d is not a multiple of %s elements",
 				ErrCorrupt, i, n, kind)
 		}
-		f.secs[i] = parsedSection{kind: kind, data: data[off : off+n]}
+		f.secs[i] = parsedSection{kind: kind, crc: crc, off: off, data: data[off : off+n]}
 	}
 	return f, nil
 }
 
+// OpenOption configures OpenFlat.
+type OpenOption func(*openOptions)
+
+type verifyPolicy int
+
+const (
+	verifyAuto   verifyPolicy = iota // heap reads verify, mapped files defer
+	verifyAlways                     // verify at open regardless of backing
+	verifyNever                      // never verify at open
+)
+
+type openOptions struct{ verify verifyPolicy }
+
+// WithVerify forces a full checksum verification at open, even for mapped
+// files. Verifying a mapping faults every page once, trading the
+// O(#sections) cold start for certainty that the bytes are intact —
+// the trade a server should make at boot, and the bench-gated zero-copy
+// load path should not.
+func WithVerify() OpenOption { return func(o *openOptions) { o.verify = verifyAlways } }
+
+// WithoutVerify skips checksum verification at open even for heap reads.
+// Corruption is then caught only by the O(1) structural checks (or by an
+// explicit Verify call later — spverify audits files this way).
+func WithoutVerify() OpenOption { return func(o *openOptions) { o.verify = verifyNever } }
+
 // OpenFlat maps (or, where mmap is unavailable, reads) the file at path
 // and parses it as a flat container. The caller must Close the returned
 // file once every slice obtained from it is unreachable.
-func OpenFlat(path string, preferMmap bool) (*FlatFile, error) {
+//
+// Verification policy: by default a heap-read file is verified eagerly
+// (the read already paid a full pass over the bytes) while a mapped file
+// defers verification so startup stays O(#sections) — call Verify, or
+// open WithVerify, to audit it. WithoutVerify skips both.
+func OpenFlat(path string, preferMmap bool, opts ...OpenOption) (*FlatFile, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	data, unmap, err := mapFile(path, preferMmap && hostLittleEndian)
 	if err != nil {
 		return nil, err
 	}
-	f, err := ParseFlat(data, true)
+	f, err := parseFlat(data, true)
+	if err == nil && (o.verify == verifyAlways || (o.verify == verifyAuto && unmap == nil)) {
+		err = f.Verify()
+	}
 	if err != nil {
 		if unmap != nil {
 			unmap()
@@ -320,13 +434,81 @@ func OpenFlat(path string, preferMmap bool) (*FlatFile, error) {
 }
 
 // Close releases the underlying mapping, if any. Slices obtained from the
-// file must not be used afterwards.
+// file must not be used afterwards. Close is idempotent — a second call
+// returns nil without touching the released mapping — and when two
+// goroutines race it, exactly one performs the release.
 func (f *FlatFile) Close() error {
+	if f.closed.Swap(true) {
+		return nil
+	}
 	unmap := f.unmap
 	f.unmap = nil
 	f.data, f.meta, f.secs = nil, nil, nil
 	if unmap != nil {
 		return unmap()
+	}
+	return nil
+}
+
+// HasChecksums reports whether the container carries CRC32C checksums.
+// Files written before checksum support do not; Verify accepts them as a
+// no-op so legacy files keep loading, and spverify reports them as
+// unauditable rather than corrupt.
+func (f *FlatFile) HasChecksums() bool { return f.flags&FlagChecksums != 0 }
+
+// Verify checks every checksum in the container: the header/table/meta
+// CRC and each section's CRC32C. Nested containers need no separate pass —
+// their bytes live inside a parent section, so the parent's checksum
+// covers them. Verify is read-only and safe to call concurrently; on a
+// mapped file it faults every page once (one sequential sweep).
+// It returns nil for checksum-less containers.
+func (f *FlatFile) Verify() error {
+	if err := f.VerifyHeader(); err != nil {
+		return err
+	}
+	for i := range f.secs {
+		if err := f.VerifySection(i); err != nil {
+			return err
+		}
+	}
+	f.verified.Store(true)
+	return nil
+}
+
+// Verified reports whether the container carries checksums and a full
+// Verify pass has succeeded — i.e. the bytes are known-good, not merely
+// structurally plausible. It is false for checksum-less legacy files,
+// which cannot be audited.
+func (f *FlatFile) Verified() bool {
+	return f.HasChecksums() && f.verified.Load()
+}
+
+// VerifyHeader checks the CRC covering the fixed header, the section
+// table and the meta blob.
+func (f *FlatFile) VerifyHeader() error {
+	if !f.HasChecksums() {
+		return nil
+	}
+	stored := binary.LittleEndian.Uint32(f.data[f.metaEnd:])
+	if got := crc32.Checksum(f.data[:f.metaEnd], castagnoli); got != stored {
+		return fmt.Errorf("%w: header/meta checksum mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, stored, got)
+	}
+	return nil
+}
+
+// VerifySection checks section i's payload against its stored CRC32C.
+func (f *FlatFile) VerifySection(i int) error {
+	if !f.HasChecksums() {
+		return nil
+	}
+	if i < 0 || i >= len(f.secs) {
+		return fmt.Errorf("%w: section %d out of range (file has %d)", ErrCorrupt, i, len(f.secs))
+	}
+	s := f.secs[i]
+	if got := crc32.Checksum(s.data, castagnoli); got != s.crc {
+		return fmt.Errorf("%w: section %d (%s, %d bytes) checksum mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, i, s.kind, len(s.data), s.crc, got)
 	}
 	return nil
 }
@@ -343,6 +525,34 @@ func (f *FlatFile) Fourcc() uint32 { return f.fourcc }
 
 // NumSections returns the number of sections.
 func (f *FlatFile) NumSections() int { return len(f.secs) }
+
+// SectionInfo reports section i's kind and payload size — the shape audit
+// tools (spverify) print next to each section's verification verdict.
+func (f *FlatFile) SectionInfo(i int) (kind SectionKind, size int64) {
+	s := f.secs[i]
+	return s.kind, int64(len(s.data))
+}
+
+// SectionRange reports the byte range [off, off+size) section i's payload
+// occupies in the container — where fault-injection tooling must aim for a
+// flipped byte to land in checksum-covered territory.
+func (f *FlatFile) SectionRange(i int) (off, size int64) {
+	s := f.secs[i]
+	return s.off, int64(len(s.data))
+}
+
+// CoveredHeaderLen reports the length of the leading region protected by
+// the header/table/meta CRC — the fixed header, the section table, the
+// meta blob, and the stored CRC itself (whose corruption is equally
+// detectable). It is 0 for checksum-less containers. Together with the
+// SectionRange spans this enumerates every covered byte: only the
+// alignment padding between regions is uncovered (and meaningless).
+func (f *FlatFile) CoveredHeaderLen() int64 {
+	if !f.HasChecksums() {
+		return 0
+	}
+	return f.metaEnd + 4
+}
 
 // Meta returns a Reader over the metadata blob, bounded by its length so
 // corrupt length prefixes cannot trigger oversized allocations.
@@ -406,13 +616,16 @@ func (f *FlatFile) I64(i int) ([]int64, error) {
 
 // NestedFlat parses U8 section i as an embedded flat container. The nested
 // file shares the parent's backing (do not Close the parent first) and
-// inherits its zero-copy mode; closing the nested file is a no-op.
+// inherits its zero-copy mode; closing the nested file is a no-op. The
+// nested container is not verified here: its bytes are the parent
+// section's payload, so the parent's checksum already covers them and a
+// second CRC pass would fault the nested pages at load time for nothing.
 func (f *FlatFile) NestedFlat(i int) (*FlatFile, error) {
 	b, err := f.section(i, SectionU8)
 	if err != nil {
 		return nil, err
 	}
-	return ParseFlat(b, f.zeroCopy)
+	return parseFlat(b, f.zeroCopy)
 }
 
 // --- raw little-endian views -------------------------------------------

@@ -1,0 +1,350 @@
+package binio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// buildLegacyFlat writes the same container as buildTestFlat but in the
+// pre-checksum layout (flags 0, zeroed pad slots, no trailing CRC).
+func buildLegacyFlat(t *testing.T) []byte {
+	t.Helper()
+	fw := NewFlatWriter(testFourcc)
+	fw.noChecksums = true
+	mw := fw.Meta()
+	mw.Magic("META")
+	mw.I64(12345)
+	mw.I32Slice([]int32{7, -8, 9})
+	fw.I32Section([]int32{1, -2, 3})
+	fw.U32Section([]uint32{10, 20, 30, 40})
+	fw.U8Section([]byte("payload"))
+	fw.I64Section([]int64{1 << 40, -5})
+	fw.I32Section(nil)
+	var buf bytes.Buffer
+	if _, err := fw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFlatChecksumRoundtrip(t *testing.T) {
+	data := buildTestFlat(t)
+	f, err := ParseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasChecksums() {
+		t.Fatal("freshly written container should carry checksums")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify on pristine container: %v", err)
+	}
+	checkTestFlat(t, f)
+}
+
+func TestFlatLegacyNoChecksumsAccepted(t *testing.T) {
+	data := buildLegacyFlat(t)
+	if flags := binary.LittleEndian.Uint32(data[20:]); flags != 0 {
+		t.Fatalf("legacy layout flags = %#x, want 0", flags)
+	}
+	f, err := ParseFlat(data, false)
+	if err != nil {
+		t.Fatalf("legacy container rejected: %v", err)
+	}
+	if f.HasChecksums() {
+		t.Error("legacy container should report no checksums")
+	}
+	if err := f.Verify(); err != nil {
+		t.Errorf("Verify on checksum-less container should be a no-op, got %v", err)
+	}
+	checkTestFlat(t, f)
+}
+
+// TestFlatChecksumLayoutCompat pins the compatibility claim: a checksummed
+// container differs from the legacy layout only in the flags word, the pad
+// slots and the inserted trailing CRC — everything a pre-checksum reader
+// ignores.
+func TestFlatChecksumLayoutCompat(t *testing.T) {
+	now := buildTestFlat(t)
+	old := buildLegacyFlat(t)
+	fNow, err := ParseFlat(now, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOld, err := ParseFlat(old, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fNow.NumSections() != fOld.NumSections() {
+		t.Fatalf("section counts diverge: %d vs %d", fNow.NumSections(), fOld.NumSections())
+	}
+	if !bytes.Equal(fNow.meta, fOld.meta) {
+		t.Error("meta blobs diverge between layouts")
+	}
+	for i := 0; i < fNow.NumSections(); i++ {
+		if fNow.secs[i].kind != fOld.secs[i].kind ||
+			!bytes.Equal(fNow.secs[i].data, fOld.secs[i].data) {
+			t.Errorf("section %d payload diverges between layouts", i)
+		}
+	}
+}
+
+// TestFlatChecksumDetectsEveryByteFlip flips every meaningful byte of the
+// container (header, table, meta, trailing CRC, section payloads —
+// everything but alignment padding) and checks that eager parsing rejects
+// each mutation with a typed error.
+func TestFlatChecksumDetectsEveryByteFlip(t *testing.T) {
+	pristine := buildTestFlat(t)
+	f, err := parseFlat(pristine, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, len(pristine))
+	for i := int64(0); i < f.metaEnd+4; i++ {
+		covered[i] = true
+	}
+	for _, s := range f.secs {
+		if len(s.data) == 0 {
+			continue
+		}
+		start := int64(uintptrOf(s.data) - uintptrOf(pristine))
+		for j := int64(0); j < int64(len(s.data)); j++ {
+			covered[start+j] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			continue
+		}
+		mut := bytes.Clone(pristine)
+		mut[i] ^= 0x40
+		ff, err := ParseFlat(mut, false)
+		if err == nil {
+			t.Fatalf("byte flip at offset %d went undetected", i)
+		}
+		if ff != nil {
+			t.Fatalf("byte flip at offset %d returned a non-nil file", i)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNotFlat) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("byte flip at offset %d: untyped error %v", i, err)
+		}
+	}
+}
+
+func uintptrOf(b []byte) uintptr {
+	if len(b) == 0 {
+		return 0
+	}
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+func TestFlatChecksummedTruncation(t *testing.T) {
+	data := buildTestFlat(t)
+	f, err := parseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file off right before the trailing header CRC: the structural
+	// parse must already refuse it.
+	if _, err := ParseFlat(data[:f.metaEnd+3], false); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation before header CRC: err = %v, want ErrCorrupt", err)
+	}
+	// Cut mid-section: the table bounds check refuses it.
+	if _, err := ParseFlat(data[:len(data)-1], false); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation mid-section: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFlatNestedCoveredByParent checks that corruption inside a nested
+// container is caught by the parent's section checksum even though
+// NestedFlat itself never verifies.
+func TestFlatNestedCoveredByParent(t *testing.T) {
+	inner := NewFlatWriter(testFourcc)
+	inner.Meta().Magic("NEST")
+	inner.I32Section([]int32{4, 5, 6})
+	var ibuf bytes.Buffer
+	if _, err := inner.WriteTo(&ibuf); err != nil {
+		t.Fatal(err)
+	}
+	outer := NewFlatWriter(testFourcc)
+	outer.Meta().Magic("OUTR")
+	outer.U8Section(ibuf.Bytes())
+	var obuf bytes.Buffer
+	if _, err := outer.WriteTo(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	data := obuf.Bytes()
+
+	f, err := ParseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := f.NestedFlat(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := nested.I32(0); err != nil || len(s) != 3 || s[2] != 6 {
+		t.Fatalf("nested I32(0) = %v, %v", s, err)
+	}
+
+	// Corrupt a byte inside the nested container's payload region.
+	raw, err := parseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectionStart := int(uintptrOf(raw.secs[0].data) - uintptrOf(data))
+	mut := bytes.Clone(data)
+	mut[sectionStart+len(raw.secs[0].data)-1] ^= 0x01
+	if _, err := ParseFlat(mut, false); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nested corruption: parent parse err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenFlatVerifyPolicy(t *testing.T) {
+	if !MmapSupported {
+		t.Skip("needs mmap to exercise the deferred-verify path")
+	}
+	data := buildTestFlat(t)
+	f, err := parseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte of the last non-empty section's payload — after the
+	// header region, so the structural parse still succeeds.
+	var corruptAt int
+	for _, s := range f.secs {
+		if len(s.data) > 0 {
+			corruptAt = int(uintptrOf(s.data) - uintptrOf(data))
+		}
+	}
+	mut := bytes.Clone(data)
+	mut[corruptAt] ^= 0x80
+	path := filepath.Join(t.TempDir(), "corrupt.flat")
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heap read: verified eagerly by default.
+	if _, err := OpenFlat(path, false); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("heap open of corrupt file: err = %v, want ErrCorrupt", err)
+	}
+	// Heap read with WithoutVerify: loads, but an explicit Verify catches it.
+	ff, err := OpenFlat(path, false, WithoutVerify())
+	if err != nil {
+		t.Fatalf("heap open WithoutVerify: %v", err)
+	}
+	if err := ff.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("explicit Verify: err = %v, want ErrCorrupt", err)
+	}
+	ff.Close()
+	// Mapped: deferred by default — open succeeds, Verify catches it.
+	fm, err := OpenFlat(path, true)
+	if err != nil {
+		t.Fatalf("mmap open of corrupt file should defer verification: %v", err)
+	}
+	if !fm.Mapped() {
+		t.Skip("mmap not actually used on this filesystem")
+	}
+	if err := fm.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mapped Verify: err = %v, want ErrCorrupt", err)
+	}
+	fm.Close()
+	// Mapped with WithVerify: rejected at open.
+	if _, err := OpenFlat(path, true, WithVerify()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mmap open WithVerify: err = %v, want ErrCorrupt", err)
+	}
+
+	// A pristine file passes under every policy.
+	good := filepath.Join(t.TempDir(), "good.flat")
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]OpenOption{nil, {WithVerify()}, {WithoutVerify()}} {
+		for _, mmap := range []bool{false, true} {
+			fg, err := OpenFlat(good, mmap, opts...)
+			if err != nil {
+				t.Fatalf("pristine open (mmap=%v, %d opts): %v", mmap, len(opts), err)
+			}
+			if err := fg.Verify(); err != nil {
+				t.Errorf("pristine Verify (mmap=%v): %v", mmap, err)
+			}
+			fg.Close()
+		}
+	}
+}
+
+func TestFlatCloseIdempotent(t *testing.T) {
+	data := buildTestFlat(t)
+	path := filepath.Join(t.TempDir(), "idx.flat")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mmap := range []bool{false, MmapSupported} {
+		f, err := OpenFlat(path, mmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("first Close (mmap=%v): %v", mmap, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("second Close (mmap=%v): %v", mmap, err)
+		}
+	}
+}
+
+// TestFlatCloseConcurrent races many Close calls; exactly one may perform
+// the release (the injected unmap counts invocations). Run under -race.
+func TestFlatCloseConcurrent(t *testing.T) {
+	data := buildTestFlat(t)
+	f, err := parseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int32
+	var mu sync.Mutex
+	f.unmap = func() error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f.Close(); err != nil {
+				t.Errorf("racing Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("unmap ran %d times, want exactly 1", calls)
+	}
+}
+
+// TestFlatCloseErrorPropagates injects a failing unmap and checks the
+// error surfaces from the first Close only.
+func TestFlatCloseErrorPropagates(t *testing.T) {
+	data := buildTestFlat(t)
+	f, err := parseFlat(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("munmap: injected failure")
+	f.unmap = func() error { return boom }
+	if err := f.Close(); !errors.Is(err, boom) {
+		t.Fatalf("first Close = %v, want injected error", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close after failed unmap = %v, want nil", err)
+	}
+}

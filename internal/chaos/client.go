@@ -1,0 +1,68 @@
+// The misbehaving-client driver: concurrent request floods whose every
+// outcome is recorded, so resilience tests can assert not just "the server
+// survived" but "no accepted request was dropped or mis-answered".
+package chaos
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Outcome is one request's fate under load.
+type Outcome struct {
+	Status int   // HTTP status; 0 when no response line arrived
+	Err    error // non-nil when the request or its body read failed
+}
+
+// Dropped reports the one outcome a draining server must never produce: a
+// request that was accepted (the status line arrived) but whose response
+// died mid-read. Requests refused outright (Status 0) are the load
+// balancer's business — readiness flipped before the listener closed —
+// and complete error responses are answers, not drops.
+func (o Outcome) Dropped() bool { return o.Status != 0 && o.Err != nil }
+
+// Drive floods url with GET requests from `workers` goroutines, each
+// sending up to perWorker requests (stopping early when ctx is done), and
+// returns every outcome. hdr is copied into each request — set
+// X-Forwarded-For to impersonate a client the rate limiter will key on.
+func Drive(ctx context.Context, url string, workers, perWorker int, hdr http.Header) []Outcome {
+	client := &http.Client{}
+	var (
+		mu  sync.Mutex
+		out []Outcome
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker && ctx.Err() == nil; i++ {
+				o := get(ctx, client, url, hdr)
+				mu.Lock()
+				out = append(out, o)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func get(ctx context.Context, client *http.Client, url string, hdr http.Header) Outcome {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return Outcome{Status: resp.StatusCode, Err: err}
+}

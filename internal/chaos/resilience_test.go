@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roadnet/internal/core"
+	"roadnet/internal/graph"
+	"roadnet/internal/server"
+	"roadnet/internal/testutil"
+)
+
+func buildFlaky(t *testing.T) (*graph.Graph, *FlakyIndex) {
+	t.Helper()
+	g := testutil.SmallRoad(300, 953)
+	idx, err := core.BuildIndex(core.MethodDijkstra, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Wrap(idx)
+}
+
+// TestInjectedPanicAnswers500ThenRecovers is the crash-isolation
+// acceptance: a panic inside one request's search produces one 500 for
+// that request, and the very next request over the same server answers
+// normally — the process never dies.
+func TestInjectedPanicAnswers500ThenRecovers(t *testing.T) {
+	g, fl := buildFlaky(t)
+	ts := httptest.NewServer(server.New(g, fl).Handler())
+	defer ts.Close()
+
+	url := ts.URL + "/v1/distance?from=0&to=150"
+	fl.PanicNext(1)
+	if status := getStatus(t, url); status != http.StatusInternalServerError {
+		t.Fatalf("armed request: status %d, want 500", status)
+	}
+	if status := getStatus(t, url); status != http.StatusOK {
+		t.Fatalf("request after panic: status %d, want 200", status)
+	}
+}
+
+// TestInjectedFailureAnswersErrorThenRecovers: an error returned by the
+// search surfaces as a non-2xx response, not a hang or a wrong answer, and
+// the server keeps serving.
+func TestInjectedFailureAnswersErrorThenRecovers(t *testing.T) {
+	g, fl := buildFlaky(t)
+	ts := httptest.NewServer(server.New(g, fl).Handler())
+	defer ts.Close()
+
+	url := ts.URL + "/v1/distance?from=0&to=150"
+	fl.FailNext(1)
+	if status := getStatus(t, url); status < 400 {
+		t.Fatalf("armed request: status %d, want an error status", status)
+	}
+	if status := getStatus(t, url); status != http.StatusOK {
+		t.Fatalf("request after failure: status %d, want 200", status)
+	}
+}
+
+// TestShutdownUnderLoadDropsNothing is the graceful-drain acceptance:
+// while slowed queries hold requests in flight, readiness flips and the
+// server shuts down — every accepted request still completes with a 200,
+// zero are dropped mid-response, and the drain finishes inside its bound.
+func TestShutdownUnderLoadDropsNothing(t *testing.T) {
+	g, fl := buildFlaky(t)
+	fl.DelayEach(2 * time.Millisecond) // keep requests in flight during Shutdown
+
+	health := server.NewHealth()
+	srv := server.New(g, fl, server.WithHealth(health))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan struct{})
+	go func() { httpSrv.Serve(ln); close(serveDone) }()
+
+	url := "http://" + ln.Addr().String() + "/v1/distance?from=0&to=150"
+	driveCtx, cancelDrive := context.WithCancel(context.Background())
+	defer cancelDrive()
+	results := make(chan []Outcome, 1)
+	go func() { results <- Drive(driveCtx, url, 8, 1000, nil) }()
+
+	// Let the flood get airborne, then drain exactly as spserve does:
+	// readiness first, listener second, in-flight requests run out.
+	time.Sleep(50 * time.Millisecond)
+	health.SetDraining()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		t.Fatalf("drain incomplete: %v", err)
+	}
+	<-serveDone
+	cancelDrive()
+	outcomes := <-results
+
+	var ok, refused int
+	for _, o := range outcomes {
+		switch {
+		case o.Dropped():
+			t.Fatalf("request dropped mid-response: status %d, err %v", o.Status, o.Err)
+		case o.Status == http.StatusOK:
+			ok++
+		case o.Status == 0:
+			refused++ // post-shutdown connection failures: the balancer's problem
+		default:
+			t.Fatalf("request answered %d under drain, want only 200s", o.Status)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request completed before the drain — the test raced itself")
+	}
+	t.Logf("drained under load: %d completed, %d refused after shutdown", ok, refused)
+}
+
+// TestRateLimitIsolatesClientsUnderLoad: a flood from one client earns
+// 429s without ever starving a second client keeping inside its budget.
+func TestRateLimitIsolatesClientsUnderLoad(t *testing.T) {
+	g, fl := buildFlaky(t)
+	ts := httptest.NewServer(server.New(g, fl, server.WithRateLimit(1, 3)).Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/distance?from=0&to=150"
+
+	greedy := Drive(context.Background(), url, 4, 10,
+		http.Header{"X-Forwarded-For": []string{"203.0.113.1"}})
+	var ok, limited int
+	for _, o := range greedy {
+		switch {
+		case o.Err != nil:
+			t.Fatalf("greedy client: transport error %v", o.Err)
+		case o.Status == http.StatusOK:
+			ok++
+		case o.Status == http.StatusTooManyRequests:
+			limited++
+		default:
+			t.Fatalf("greedy client: status %d, want 200 or 429", o.Status)
+		}
+	}
+	if ok == 0 || limited == 0 {
+		t.Fatalf("greedy client saw %d 200s and %d 429s, want both", ok, limited)
+	}
+
+	// The greedy client's empty bucket must not touch this one's.
+	polite := Drive(context.Background(), url, 1, 3,
+		http.Header{"X-Forwarded-For": []string{"203.0.113.2"}})
+	for i, o := range polite {
+		if o.Err != nil || o.Status != http.StatusOK {
+			t.Fatalf("polite request %d: status %d, err %v — starved by the greedy client", i, o.Status, o.Err)
+		}
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

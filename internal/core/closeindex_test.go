@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"roadnet/internal/testutil"
+)
+
+// fakeBackedIndex stands in for a file-backed index whose backing release
+// fails — the munmap-error path CloseIndex must not swallow.
+type fakeBackedIndex struct {
+	Index
+	err   error
+	calls int
+}
+
+func (f *fakeBackedIndex) closeBacking() error {
+	f.calls++
+	return f.err
+}
+
+func TestCloseIndexPropagatesBackingError(t *testing.T) {
+	boom := errors.New("munmap: injected failure")
+	f := &fakeBackedIndex{err: boom}
+	if err := CloseIndex(f); !errors.Is(err, boom) {
+		t.Fatalf("CloseIndex = %v, want the backing error", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("closeBacking ran %d times, want 1", f.calls)
+	}
+}
+
+func TestCloseIndexNoopForBuiltIndex(t *testing.T) {
+	g := testutil.Figure1()
+	ix, err := BuildIndex(MethodDijkstra, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CloseIndex(ix); err != nil {
+		t.Fatalf("CloseIndex on a built index = %v, want nil", err)
+	}
+}

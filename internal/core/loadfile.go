@@ -28,6 +28,11 @@ type LoadInfo struct {
 	SizeBytes int64
 	// LoadTime is the wall-clock time from open to a queryable index.
 	LoadTime time.Duration
+	// Verified reports that the file carries checksums and every one was
+	// verified during the load — the index bytes are known-good. False for
+	// legacy v1 streams and pre-checksum flat files (which cannot be
+	// audited) and for loads that passed binio.WithoutVerify.
+	Verified bool
 }
 
 // Mode renders the load path as a short label for logs.
@@ -52,10 +57,17 @@ func (li LoadInfo) Mode() string {
 //
 // Indexes whose LoadInfo.Mapped is true hold the mapping open; release it
 // with CloseIndex when the index is retired.
-func LoadIndexFile(method Method, path string, g *graph.Graph, preferMmap bool) (Index, LoadInfo, error) {
+//
+// By default every checksum in a flat file is verified before the index
+// serves a query, mapped or not: a flipped byte fails the load with
+// binio.ErrCorrupt instead of producing silently wrong shortest paths (the
+// caller may then fall back to a plain Dijkstra pool — see spserve's
+// degraded mode). Pass binio.WithoutVerify to skip the sweep and keep
+// mapped loads O(#sections); LoadInfo.Verified records which happened.
+func LoadIndexFile(method Method, path string, g *graph.Graph, preferMmap bool, opts ...binio.OpenOption) (Index, LoadInfo, error) {
 	start := time.Now()
 	info := LoadInfo{Path: path}
-	f, err := binio.OpenFlat(path, preferMmap)
+	f, err := binio.OpenFlat(path, preferMmap, append([]binio.OpenOption{binio.WithVerify()}, opts...)...)
 	if errors.Is(err, binio.ErrNotFlat) {
 		idx, lerr := loadV1File(method, path, g)
 		if lerr != nil {
@@ -103,6 +115,7 @@ func LoadIndexFile(method Method, path string, g *graph.Graph, preferMmap bool) 
 	info.Mapped = f.Mapped()
 	info.Flat = true
 	info.SizeBytes = f.SizeBytes()
+	info.Verified = f.Verified()
 	info.LoadTime = time.Since(start)
 	return idx, info, nil
 }

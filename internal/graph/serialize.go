@@ -62,8 +62,13 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 // loading is O(1) and the resident memory is shared with every other
 // process serving the same file. Call Close on the returned graph when it
 // is no longer used.
-func LoadFile(path string, preferMmap bool) (*Graph, error) {
-	f, err := binio.OpenFlat(path, preferMmap)
+//
+// By default the file's checksums are verified before the graph is used —
+// a flipped byte fails the load with binio.ErrCorrupt instead of routing
+// over a silently wrong network. Pass binio.WithoutVerify to skip the
+// verification sweep (mapped loads then stay O(#sections)).
+func LoadFile(path string, preferMmap bool, opts ...binio.OpenOption) (*Graph, error) {
+	f, err := binio.OpenFlat(path, preferMmap, append([]binio.OpenOption{binio.WithVerify()}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +150,13 @@ func (g *Graph) Close() error {
 
 // Mapped reports whether the graph's arrays alias an mmap'd file.
 func (g *Graph) Mapped() bool { return g.backing != nil && g.backing.Mapped() }
+
+// Verified reports whether the graph's bytes are known-good: either it was
+// built or stream-parsed in this process (no disk bytes to distrust), or
+// its backing file carried checksums that passed verification. It is false
+// for file loads that skipped verification and for checksum-less legacy
+// files.
+func (g *Graph) Verified() bool { return g.backing == nil || g.backing.Verified() }
 
 // pointsAsI32 reinterprets the coordinate array as its int32 layout
 // (geom.Point is exactly two int32s).

@@ -77,8 +77,12 @@ func ReadTree(r io.Reader) (*Tree, error) {
 // LoadFile maps (or, with preferMmap false or where unsupported, reads)
 // the tree file at path. Call Close on the returned tree when it is no
 // longer used.
-func LoadFile(path string, preferMmap bool) (*Tree, error) {
-	f, err := binio.OpenFlat(path, preferMmap)
+//
+// By default the file's checksums are verified before the tree is used;
+// pass binio.WithoutVerify to skip the sweep and keep mapped loads
+// O(#sections).
+func LoadFile(path string, preferMmap bool, opts ...binio.OpenOption) (*Tree, error) {
+	f, err := binio.OpenFlat(path, preferMmap, append([]binio.OpenOption{binio.WithVerify()}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +190,12 @@ func (t *Tree) Close() error {
 
 // Mapped reports whether the tree's arrays alias an mmap'd file.
 func (t *Tree) Mapped() bool { return t.backing != nil && t.backing.Mapped() }
+
+// Verified reports whether the tree's bytes are known-good: either it was
+// bulk-loaded in this process, or its backing file carried checksums that
+// passed verification. It is false for file loads that skipped
+// verification and for checksum-less legacy files.
+func (t *Tree) Verified() bool { return t.backing == nil || t.backing.Verified() }
 
 func fourccString(fourcc uint32) string {
 	b := []byte{byte(fourcc), byte(fourcc >> 8), byte(fourcc >> 16), byte(fourcc >> 24)}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadnet/internal/core"
+	"roadnet/internal/geom"
+	"roadnet/internal/graph"
+	"roadnet/internal/tnr"
+)
+
+// twoComponentGraph builds a graph with a 6-vertex cycle and a separate
+// 3-vertex chain, so batch matrices contain unreachable (-1) cells.
+func twoComponentGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(9)
+	for i := 0; i < 9; i++ {
+		b.AddVertex(geom.Point{X: int32(i % 3 * 10), Y: int32(i / 3 * 10)})
+	}
+	for i := 0; i < 6; i++ {
+		if err := b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%6), graph.Weight(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 6; i < 8; i++ {
+		if err := b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// expectedBatchDistanceDoc renders the reference response: the same pool
+// computation the handler runs, encoded by json.Encoder over the canonical
+// batchDistanceResponse — the document shape the streaming writer must
+// reproduce byte for byte.
+func expectedBatchDistanceDoc(t *testing.T, idx core.Index, sources, targets []graph.VertexID) []byte {
+	t.Helper()
+	pool := core.NewPool(idx)
+	table, err := pool.BatchDistance(context.Background(), sources, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range table {
+		for j, d := range row {
+			if d >= graph.Infinity {
+				row[j] = -1
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(batchDistanceResponse{
+		Sources:   sources,
+		Targets:   targets,
+		Distances: table,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postBatchDistance(t *testing.T, url string, body string, ndjson bool) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/batch/distance", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if ndjson {
+		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestBatchDistanceStreamByteIdentity is the oracle for the streamed JSON
+// mode: across the batch-accelerated techniques and the per-pair fallback,
+// and across degenerate shapes (empty lists, single rows, unreachable
+// cells), the streamed document must be byte-identical to the json.Encoder
+// document of the pre-streaming implementation.
+func TestBatchDistanceStreamByteIdentity(t *testing.T) {
+	g := twoComponentGraph(t)
+	cases := []struct{ sources, targets []int64 }{
+		{[]int64{0, 1, 2}, []int64{3, 4, 6}}, // many-to-many incl. unreachable
+		{[]int64{5}, []int64{0, 1, 2, 3}},    // single source row
+		{[]int64{0, 6}, []int64{8}},          // single target column
+		{[]int64{}, []int64{1}},              // empty sources
+		{[]int64{1}, []int64{}},              // empty targets
+		{[]int64{}, []int64{}},               // both empty
+	}
+	for _, m := range []core.Method{core.MethodDijkstra, core.MethodCH, core.MethodTNR, core.MethodSILC} {
+		idx, err := core.BuildIndex(m, g, core.Config{TNR: tnr.Options{GridSize: 4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(g, idx).Handler())
+		for _, c := range cases {
+			body, _ := json.Marshal(map[string][]int64{"sources": c.sources, "targets": c.targets})
+			status, raw := postBatchDistance(t, ts.URL, string(body), false)
+			if status != http.StatusOK {
+				t.Fatalf("%s %v x %v: status %d: %s", m, c.sources, c.targets, status, raw)
+			}
+			sources := make([]graph.VertexID, len(c.sources))
+			for i, v := range c.sources {
+				sources[i] = graph.VertexID(v)
+			}
+			targets := make([]graph.VertexID, len(c.targets))
+			for i, v := range c.targets {
+				targets[i] = graph.VertexID(v)
+			}
+			want := expectedBatchDistanceDoc(t, idx, sources, targets)
+			if !bytes.Equal(raw, want) {
+				t.Fatalf("%s %v x %v: streamed document diverges\n got: %s\nwant: %s",
+					m, c.sources, c.targets, raw, want)
+			}
+		}
+		ts.Close()
+	}
+}
+
+// TestBatchDistanceNDJSON checks the line framing: a header echoing the id
+// lists, one row line per source carrying its index, and the {"done":true}
+// terminator — with the same distances the JSON mode reports.
+func TestBatchDistanceNDJSON(t *testing.T) {
+	g := twoComponentGraph(t)
+	idx, err := core.BuildIndex(core.MethodCH, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(g, idx).Handler())
+	defer ts.Close()
+
+	body := `{"sources":[0,1,6],"targets":[2,7]}`
+	status, raw := postBatchDistance(t, ts.URL, body, true)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 5 { // header + 3 rows + done
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), raw)
+	}
+
+	var header struct {
+		Sources []int64 `json:"sources"`
+		Targets []int64 `json:"targets"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if fmt.Sprint(header.Sources) != "[0 1 6]" || fmt.Sprint(header.Targets) != "[2 7]" {
+		t.Fatalf("header = %+v", header)
+	}
+
+	// Rows must carry increasing indices and match the JSON-mode matrix.
+	statusJSON, rawJSON := postBatchDistance(t, ts.URL, body, false)
+	if statusJSON != http.StatusOK {
+		t.Fatalf("JSON mode status %d", statusJSON)
+	}
+	var doc struct {
+		Distances [][]int64 `json:"distances"`
+	}
+	if err := json.Unmarshal(rawJSON, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range lines[1:4] {
+		var row struct {
+			I         int     `json:"i"`
+			Distances []int64 `json:"distances"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row line %d: %v", i, err)
+		}
+		if row.I != i {
+			t.Fatalf("row %d carries index %d", i, row.I)
+		}
+		if fmt.Sprint(row.Distances) != fmt.Sprint(doc.Distances[i]) {
+			t.Fatalf("row %d = %v, JSON mode says %v", i, row.Distances, doc.Distances[i])
+		}
+	}
+
+	var done struct {
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(lines[4]), &done); err != nil || !done.Done {
+		t.Fatalf("terminator line %q (err %v)", lines[4], err)
+	}
+}

@@ -1,0 +1,147 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadnet/internal/core"
+	"roadnet/internal/server"
+	"roadnet/internal/testutil"
+)
+
+// newResilienceServer builds a server over a small graph with the given
+// extra options.
+func newResilienceServer(t *testing.T, opts ...server.Option) *httptest.Server {
+	t.Helper()
+	g := testutil.SmallRoad(300, 953)
+	idx, err := core.BuildIndex(core.MethodDijkstra, g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(g, idx, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := server.NewHealth()
+	ts := newResilienceServer(t, server.WithHealth(h))
+	for _, poke := range []func(){func() {}, h.SetDraining, func() { h.SetDegraded("test") }} {
+		poke()
+		var resp struct{ OK bool }
+		getJSON(t, ts.URL+"/healthz", http.StatusOK, &resp)
+		if !resp.OK {
+			t.Fatal("healthz body not ok")
+		}
+	}
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	h := server.NewHealth()
+	ts := newResilienceServer(t, server.WithHealth(h))
+
+	var resp struct {
+		Ready    bool
+		Draining bool
+		Degraded bool
+		Verified bool
+		Reason   string
+	}
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &resp)
+	if !resp.Ready || resp.Draining || resp.Degraded {
+		t.Fatalf("fresh readyz = %+v", resp)
+	}
+
+	h.SetVerified(true)
+	h.SetDegraded("index checksum mismatch, serving exact Dijkstra answers")
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &resp)
+	if !resp.Ready || !resp.Degraded || resp.Reason == "" {
+		t.Fatalf("degraded readyz = %+v, want ready with degraded flag and reason", resp)
+	}
+
+	h.SetDraining()
+	getJSON(t, ts.URL+"/readyz", http.StatusServiceUnavailable, &resp)
+	if resp.Ready || !resp.Draining {
+		t.Fatalf("draining readyz = %+v, want not ready", resp)
+	}
+	// Regular queries still answer while draining: readiness gates new
+	// traffic at the balancer, it does not reject in-flight work.
+	var stats struct{ Vertices int }
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Vertices <= 0 {
+		t.Fatalf("stats during drain: %+v", stats)
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	ts := newResilienceServer(t, server.WithRateLimit(0.5, 2))
+
+	var limited *http.Response
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case i < 2 && resp.StatusCode != http.StatusOK:
+			t.Fatalf("request %d inside burst: status %d", i, resp.StatusCode)
+		case i == 2:
+			limited = resp
+		}
+	}
+	if limited.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request over burst: status %d, want 429", limited.StatusCode)
+	}
+	if limited.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// A different client (distinct X-Forwarded-For hop) is unaffected.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+	req.Header.Set("X-Forwarded-For", "203.0.113.77")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: status %d, want 200", resp.StatusCode)
+	}
+
+	// Health probes bypass the limiter even for the throttled client.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("readyz probe %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestTimeout503CarriesRetryAfter pins the satellite fix: the 503 a
+// request-timeout expiry produces tells the client when to come back.
+func TestTimeout503CarriesRetryAfter(t *testing.T) {
+	ts := newResilienceServer(t, server.WithRequestTimeout(1)) // 1ns: every query expires
+	resp, err := http.Get(ts.URL + "/v1/distance?from=0&to=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}

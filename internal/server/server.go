@@ -106,6 +106,8 @@ type Server struct {
 	idx     core.Index
 	pool    *core.Pool
 	spatial *core.SpatialLocator
+	health  *Health
+	limiter *rateLimiter
 
 	maxBatchPairs      int
 	maxBatchRoutePairs int
@@ -188,6 +190,27 @@ func WithSpatialLimits(maxK, maxResults int) Option {
 	}
 }
 
+// WithHealth shares a caller-owned Health record with the server's
+// /healthz and /readyz endpoints, so the process lifecycle (signal
+// handling, index verification) can drive what readiness reports. Without
+// it the server owns a Health that always reports ready.
+func WithHealth(h *Health) Option {
+	return func(s *Server) { s.health = h }
+}
+
+// WithRateLimit admits at most qps requests per second per client (buckets
+// keyed by the first X-Forwarded-For hop, else the remote host) with the
+// given burst allowance. Requests over budget are answered 429 with a
+// Retry-After header. qps <= 0 disables limiting; burst < 1 is raised
+// to 1. Health probes are never limited.
+func WithRateLimit(qps float64, burst int) Option {
+	return func(s *Server) {
+		if qps > 0 {
+			s.limiter = newRateLimiter(qps, burst)
+		}
+	}
+}
+
 // WithSpatialLocator serves spatial queries from a caller-built locator —
 // typically one wrapping an mmap-loaded R-tree (core.
 // NewSpatialLocatorFromTree) or a custom node capacity — instead of the
@@ -223,11 +246,17 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 	if s.spatial == nil {
 		s.spatial = core.NewSpatialLocator(g)
 	}
+	if s.health == nil {
+		s.health = NewHealth()
+	}
 	return s
 }
 
 // Handler returns the HTTP handler with all routes registered, wrapped in
-// the per-request deadline middleware when one is configured.
+// the resilience middleware chain: panic recovery outermost (a crashing
+// handler answers 500 and the process keeps serving), then per-client
+// admission control (when configured), then the per-request deadline
+// (when configured), then the routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/distance", s.handleDistance)
@@ -238,14 +267,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/within", s.handleWithin)
 	mux.HandleFunc("POST /v1/batch/distance", s.handleBatchDistance)
 	mux.HandleFunc("POST /v1/batch/route", s.handleBatchRoute)
-	if s.requestTimeout <= 0 {
-		return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	var h http.Handler = mux
+	if s.requestTimeout > 0 {
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+			defer cancel()
+			mux.ServeHTTP(w, r.WithContext(ctx))
+		})
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
-		defer cancel()
-		mux.ServeHTTP(w, r.WithContext(ctx))
-	})
+	if s.limiter != nil {
+		h = s.rateLimit(h)
+	}
+	return recoverPanics(h)
 }
 
 type errorResponse struct {
@@ -259,11 +294,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeAborted reports a query cut short by its context: 503 for a served
-// deadline, 499 for a client that went away.
+// deadline (the request-timeout middleware, or a bounded pool that stayed
+// exhausted until the deadline), 499 for a client that went away. The 503
+// carries a Retry-After so clients back off instead of hot-retrying into
+// the same overload.
 func writeAborted(w http.ResponseWriter, err error) {
 	status := statusClientClosedRequest
 	if errors.Is(err, context.DeadlineExceeded) {
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, errorResponse{"query aborted: " + err.Error()})
 }
@@ -484,7 +523,12 @@ func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request, maxPairs in
 // handleBatchDistance answers a sources x targets distance matrix in one
 // request, dispatching to the index's batch accelerator (CH bucket
 // many-to-many, TNR table sweep, SILC shared-prefix walks, or pooled
-// point-to-point; see core.Pool.BatchDistance).
+// point-to-point; see core.Pool.BatchDistance). The matrix is computed by
+// the accelerator in one piece — that is what makes it fast — but the
+// response is streamed through the deferred-commit buffer (see stream.go),
+// byte-identical to the old json.Encoder document, and clients sending
+// "Accept: application/x-ndjson" get a row-per-line framing with a
+// {"done":true} terminator instead.
 func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
 	sources, targets, ok := s.decodeBatch(w, r, s.maxBatchPairs)
 	if !ok {
@@ -502,11 +546,11 @@ func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, batchDistanceResponse{
-		Sources:   sources,
-		Targets:   targets,
-		Distances: table,
-	})
+	if wantsNDJSON(r) {
+		s.streamBatchDistanceNDJSON(w, sources, targets, table)
+		return
+	}
+	s.streamBatchDistanceJSON(w, sources, targets, table)
 }
 
 // batchRouteEntry is one cell of the batch route matrix. Distance has no

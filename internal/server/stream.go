@@ -159,6 +159,77 @@ func (st *routeStream) streamCell(prefix string, it graph.PathIterator, d int64,
 	return nil
 }
 
+// writeI64List writes one distance row with the exact bytes encoding/json
+// produces for a []int64 (null for a nil row, [] for an empty one).
+func (st *routeStream) writeI64List(row []int64) {
+	if row == nil {
+		st.writeString("null")
+		return
+	}
+	st.writeByte('[')
+	for j, d := range row {
+		if j > 0 {
+			st.writeByte(',')
+		}
+		st.writeInt(d)
+	}
+	st.writeByte(']')
+}
+
+// streamBatchDistanceJSON writes the single-document batch distance
+// response with the exact bytes json.Encoder would produce for
+// batchDistanceResponse — but through the fixed-size stream buffer. The
+// encoder materializes the entire document before its single Write, which
+// at the 2^20-pair cap is tens of MB of transient heap per request; this
+// path keeps encoding residency at streamBufSize no matter the matrix.
+func (s *Server) streamBatchDistanceJSON(w http.ResponseWriter, sources, targets []graph.VertexID, table [][]int64) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.newRouteStream(w)
+	st.writeString(`{"sources":`)
+	st.writeIDList(sources)
+	st.writeString(`,"targets":`)
+	st.writeIDList(targets)
+	st.writeString(`,"distances":`)
+	if table == nil {
+		st.writeString("null")
+	} else {
+		st.writeByte('[')
+		for i, row := range table {
+			if i > 0 {
+				st.writeByte(',')
+			}
+			st.writeI64List(row)
+		}
+		st.writeByte(']')
+	}
+	st.writeString("}\n")
+	_ = st.bw.Flush()
+}
+
+// streamBatchDistanceNDJSON streams the matrix as one header line echoing
+// the id lists, one {"i":N,"distances":[...]} line per source row (flushed
+// row by row, so a consumer can pipeline), and a final {"done":true}
+// marker that distinguishes a complete matrix from a cut-short stream.
+func (s *Server) streamBatchDistanceNDJSON(w http.ResponseWriter, sources, targets []graph.VertexID, table [][]int64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st := s.newRouteStream(w)
+	st.writeString(`{"sources":`)
+	st.writeIDList(sources)
+	st.writeString(`,"targets":`)
+	st.writeIDList(targets)
+	st.writeString("}\n")
+	for i, row := range table {
+		st.writeString(`{"i":`)
+		st.writeInt(int64(i))
+		st.writeString(`,"distances":`)
+		st.writeI64List(row)
+		st.writeString("}\n")
+		_ = st.bw.Flush()
+	}
+	st.writeString("{\"done\":true}\n")
+	_ = st.bw.Flush()
+}
+
 // streamBatchRouteJSON streams the classic single-document response.
 func (s *Server) streamBatchRouteJSON(w http.ResponseWriter, r *http.Request, sr core.Searcher, sources, targets []graph.VertexID) {
 	w.Header().Set("Content-Type", "application/json")

@@ -254,13 +254,39 @@ type LoadInfo = core.LoadInfo
 // heap loads.
 const MmapSupported = binio.MmapSupported
 
+// ErrCorrupt is wrapped by every load error caused by bytes that do not
+// hold up — failed structural validation or a checksum mismatch. Callers
+// test it with errors.Is to distinguish corruption (rebuild or fall back)
+// from environmental failures (missing file, permissions). spserve's
+// degraded mode keys off it: a corrupt index file falls back to exact
+// Dijkstra answers instead of refusing to boot.
+var ErrCorrupt = binio.ErrCorrupt
+
+// OpenOption tunes how index, graph and R-tree files are opened —
+// currently whether their checksums are verified during the load.
+type OpenOption = binio.OpenOption
+
+// WithVerify forces a full checksum verification at load (the default for
+// every file loader in this package): a flipped byte on disk fails the
+// load with a corruption error instead of producing silently wrong paths.
+func WithVerify() OpenOption { return binio.WithVerify() }
+
+// WithoutVerify skips checksum verification at load. Mapped loads then
+// stay O(#sections) — no page of a multi-GB index is touched until a
+// query needs it — at the cost of trusting the bytes. Corruption can
+// still be audited later with the spverify tool.
+func WithoutVerify() OpenOption { return binio.WithoutVerify() }
+
 // LoadIndexFile loads an index from a file. Flat v2 files (written by
 // SaveIndex) are mapped when preferMmap is set and the platform supports
 // it: the index arrays alias the page cache, making startup O(#sections)
 // with near-zero allocations regardless of index size. Legacy v1 files
 // load through the copying path. Call CloseIndex to release a mapping.
-func LoadIndexFile(method Method, path string, g *Graph, preferMmap bool) (Index, LoadInfo, error) {
-	return core.LoadIndexFile(method, path, g, preferMmap)
+//
+// Checksums are verified by default (see WithoutVerify);
+// LoadInfo.Verified records whether the bytes are known-good.
+func LoadIndexFile(method Method, path string, g *Graph, preferMmap bool, opts ...OpenOption) (Index, LoadInfo, error) {
+	return core.LoadIndexFile(method, path, g, preferMmap, opts...)
 }
 
 // CloseIndex releases the file mapping behind an index loaded by
@@ -278,9 +304,10 @@ func LoadGraph(r io.Reader) (*Graph, error) { return graph.ReadGraph(r) }
 
 // LoadGraphFile maps (or, with preferMmap false or where unsupported,
 // reads) a graph file written by SaveGraph. A mapped graph's arrays alias
-// the page cache; call Close on the graph when it is retired.
-func LoadGraphFile(path string, preferMmap bool) (*Graph, error) {
-	return graph.LoadFile(path, preferMmap)
+// the page cache; call Close on the graph when it is retired. Checksums
+// are verified by default (see WithoutVerify).
+func LoadGraphFile(path string, preferMmap bool, opts ...OpenOption) (*Graph, error) {
+	return graph.LoadFile(path, preferMmap, opts...)
 }
 
 // GenParams configures the synthetic road-network generator.
@@ -394,9 +421,10 @@ func SaveRTree(w io.Writer, t *RTree) error { return t.Save(w) }
 
 // LoadRTreeFile maps (or, with preferMmap false or where unsupported,
 // reads) an R-tree file written by SaveRTree. Call Close on the tree when
-// it is retired to release a mapping.
-func LoadRTreeFile(path string, preferMmap bool) (*RTree, error) {
-	return rtree.LoadFile(path, preferMmap)
+// it is retired to release a mapping. Checksums are verified by default
+// (see WithoutVerify).
+func LoadRTreeFile(path string, preferMmap bool, opts ...OpenOption) (*RTree, error) {
+	return rtree.LoadFile(path, preferMmap, opts...)
 }
 
 // NewSpatialLocatorFromTree wraps a previously saved (possibly mmap'd)
