@@ -70,6 +70,20 @@
 // in-flight requests run to completion (bounded by -drain-timeout), and
 // only then are the mmap'd graph, index and R-tree files unmapped. A
 // second signal aborts immediately.
+//
+// # Observability
+//
+// GET /metrics serves Prometheus text exposition (on by default;
+// -metrics=false disables it): per-endpoint request counts and latency
+// histograms, per-technique query counters, searcher-pool occupancy,
+// batch stream accounting, index load/verify timings, and the
+// draining/degraded serving state. The scrape is exempt from rate
+// limiting, like the health probes. docs/METRICS.md documents every
+// metric; docs/OPERATIONS.md is the runbook built on them.
+//
+// -pprof-addr starts net/http/pprof on its own listener (e.g.
+// "localhost:6060"). The profiler is never mounted on the public mux —
+// bind it to localhost or an internal interface only.
 package main
 
 import (
@@ -78,6 +92,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on the -pprof-addr listener's mux
 	"os"
 	"os/signal"
 	"runtime"
@@ -111,6 +126,8 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "max time to let in-flight requests finish after SIGTERM/SIGINT before closing their connections")
 		rateLimit   = flag.Float64("rate-limit", 0, "per-client admission rate in requests/sec (0 = unlimited); clients over their budget get 429 with Retry-After")
 		rateBurst   = flag.Int("rate-burst", 10, "per-client burst allowance when -rate-limit is set")
+		withMetrics = flag.Bool("metrics", true, "serve Prometheus text metrics at GET /metrics")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); never exposed on the public mux")
 	)
 	flag.Parse()
 
@@ -128,7 +145,7 @@ func main() {
 
 	cfg := roadnet.Config{}
 	cfg.SILC.EnableNearest = *knnNearest
-	idx, idxVerified, degraded, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap, openOpts, cfg)
+	idx, loadInfo, idxVerified, degraded, err := buildOrLoad(roadnet.Method(*method), g, *indexPath, *useMmap, openOpts, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -136,9 +153,18 @@ func main() {
 	st := idx.Stats()
 	fmt.Printf("index: %s, %d KB, built in %v\n", st.Method, st.IndexBytes/1024, st.BuildTime.Round(time.Millisecond))
 
+	var reg *roadnet.MetricsRegistry
+	if *withMetrics {
+		reg = roadnet.NewMetricsRegistry()
+		registerLoadMetrics(reg, loadInfo, st)
+	}
+
 	var poolOpts []core.PoolOption
 	if *poolMax > 0 {
 		poolOpts = append(poolOpts, core.WithMaxSearchers(*poolMax))
+	}
+	if reg != nil {
+		poolOpts = append(poolOpts, core.WithMetrics(reg))
 	}
 	pool := core.NewPool(idx, poolOpts...)
 	if n := pool.Prewarm(*prewarm); n > 0 {
@@ -178,7 +204,23 @@ func main() {
 	if *rateLimit > 0 {
 		srvOpts = append(srvOpts, server.WithRateLimit(*rateLimit, *rateBurst))
 	}
+	if reg != nil {
+		srvOpts = append(srvOpts, server.WithMetrics(reg))
+	}
 	srv := server.New(g, idx, srvOpts...)
+
+	// The profiler gets its own listener and mux (net/http/pprof registers
+	// on http.DefaultServeMux, which the public server never uses), so
+	// heap dumps and CPU profiles are reachable only on the operator's
+	// interface.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Printf("pprof: listening on %s (keep this off public interfaces)\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -236,45 +278,70 @@ func main() {
 // and reports the reason on /readyz, keeping the endpoint answering while
 // the operator rebuilds the file. The degraded return carries that reason
 // ("" when healthy); verified reports whether the index bytes are
-// known-good (built in-process, or checksum-verified off disk).
-func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool, openOpts []roadnet.OpenOption, cfg roadnet.Config) (idx core.Index, verified bool, degraded string, err error) {
+// known-good (built in-process, or checksum-verified off disk); info is
+// the zero LoadInfo when the index was built rather than loaded.
+func buildOrLoad(method roadnet.Method, g *roadnet.Graph, indexPath string, useMmap bool, openOpts []roadnet.OpenOption, cfg roadnet.Config) (idx core.Index, info roadnet.LoadInfo, verified bool, degraded string, err error) {
 	if indexPath != "" {
 		if _, statErr := os.Stat(indexPath); statErr == nil {
 			idx, info, err := roadnet.LoadIndexFile(method, indexPath, g, useMmap, openOpts...)
 			if err == nil {
 				fmt.Printf("load: index %s via %s in %v (%d KB on disk)\n",
 					indexPath, info.Mode(), info.LoadTime.Round(time.Microsecond), info.SizeBytes/1024)
-				return idx, info.Verified, "", nil
+				return idx, info, info.Verified, "", nil
 			}
 			if !errors.Is(err, roadnet.ErrCorrupt) {
-				return nil, false, "", fmt.Errorf("loading %s: %w", indexPath, err)
+				return nil, info, false, "", fmt.Errorf("loading %s: %w", indexPath, err)
 			}
 			degraded = fmt.Sprintf("index file %s is corrupt, serving exact Dijkstra answers", indexPath)
 			fmt.Fprintf(os.Stderr, "load: %s: %v\ndegraded: falling back to a Dijkstra index; rebuild the file and restart to restore %s\n",
 				indexPath, err, method)
 			fallback, buildErr := roadnet.NewIndex(roadnet.Dijkstra, g, roadnet.Config{})
 			if buildErr != nil {
-				return nil, false, "", buildErr
+				return nil, roadnet.LoadInfo{}, false, "", buildErr
 			}
-			return fallback, true, degraded, nil
+			return fallback, roadnet.LoadInfo{}, true, degraded, nil
 		}
 	}
 	idx, err = roadnet.NewIndex(method, g, cfg)
 	if err != nil {
-		return nil, false, "", err
+		return nil, roadnet.LoadInfo{}, false, "", err
 	}
 	if indexPath != "" {
 		f, err := os.Create(indexPath)
 		if err != nil {
-			return nil, false, "", err
+			return nil, roadnet.LoadInfo{}, false, "", err
 		}
 		defer f.Close()
 		if err := roadnet.SaveIndex(idx, f); err != nil {
-			return nil, false, "", fmt.Errorf("saving %s: %w", indexPath, err)
+			return nil, roadnet.LoadInfo{}, false, "", fmt.Errorf("saving %s: %w", indexPath, err)
 		}
 		fmt.Printf("saved index to %s\n", indexPath)
 	}
-	return idx, true, "", nil
+	return idx, roadnet.LoadInfo{}, true, "", nil
+}
+
+// registerLoadMetrics publishes the startup load path as gauges, set once:
+// how big the serving index is, whether it came in over mmap or the heap,
+// and how long the load and its checksum sweep took. For an index built
+// in-process (zero LoadInfo) the size comes from the index stats and the
+// load gauges stay zero.
+func registerLoadMetrics(reg *roadnet.MetricsRegistry, info roadnet.LoadInfo, st roadnet.Stats) {
+	bytes := float64(st.IndexBytes)
+	if info.SizeBytes > 0 {
+		bytes = float64(info.SizeBytes)
+	}
+	reg.Gauge("roadnet_index_bytes",
+		"Size of the serving index: bytes on disk for a loaded index, in-memory footprint for a built one.").Set(bytes)
+	mapped := 0.0
+	if info.Mapped {
+		mapped = 1
+	}
+	reg.Gauge("roadnet_index_mmap",
+		"1 when the index file is mmap'd (zero-copy, page-cache resident), 0 for heap loads and built indexes.").Set(mapped)
+	reg.Gauge("roadnet_index_load_seconds",
+		"Wall-clock time of the startup index load (0 for an index built in-process).").Set(info.LoadTime.Seconds())
+	reg.Gauge("roadnet_index_verify_seconds",
+		"Portion of the load spent verifying checksums (0 when verification was skipped).").Set(info.VerifyTime.Seconds())
 }
 
 // loadOrBuildLocator resolves the spatial tier: the R-tree cache when

@@ -1,12 +1,3 @@
-// Package binio provides the little-endian binary encoding helpers used to
-// serialize the built indexes (CH, SILC, TNR) to disk. Preprocessing the
-// larger datasets takes minutes to hours (Figure 6(b)); persisting the
-// result is what a production deployment would do, so the library supports
-// it for every index whose construction is expensive.
-//
-// The format is length-prefixed primitive slices; each index adds a magic
-// string and a version byte on top (see the Save/Read functions of the
-// index packages).
 package binio
 
 import (

@@ -43,6 +43,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -282,11 +283,18 @@ type FlatFile struct {
 	metaEnd  int64 // one past the meta blob: where the header CRC lives
 	meta     []byte
 	secs     []parsedSection
-	zeroCopy bool         // sections may alias data
-	closed   atomic.Bool  // makes Close idempotent, even under races
-	verified atomic.Bool  // a full Verify pass has succeeded
-	unmap    func() error // non-nil when Close must release an mmap
+	zeroCopy bool          // sections may alias data
+	closed   atomic.Bool   // makes Close idempotent, even under races
+	verified atomic.Bool   // a full Verify pass has succeeded
+	unmap    func() error  // non-nil when Close must release an mmap
+	verifyT  time.Duration // time OpenFlat spent verifying (0: deferred)
 }
+
+// VerifyTime reports how long OpenFlat spent verifying checksums, for
+// startup observability (zero when verification was deferred or skipped).
+// Later explicit Verify calls are not included — the caller timing an
+// audit pass can time it directly.
+func (f *FlatFile) VerifyTime() time.Duration { return f.verifyT }
 
 type parsedSection struct {
 	kind SectionKind
@@ -421,7 +429,9 @@ func OpenFlat(path string, preferMmap bool, opts ...OpenOption) (*FlatFile, erro
 	}
 	f, err := parseFlat(data, true)
 	if err == nil && (o.verify == verifyAlways || (o.verify == verifyAuto && unmap == nil)) {
+		start := time.Now()
 		err = f.Verify()
+		f.verifyT = time.Since(start)
 	}
 	if err != nil {
 		if unmap != nil {

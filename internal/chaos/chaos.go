@@ -1,11 +1,3 @@
-// Package chaos is the fault-injection harness behind the resilience
-// tests. It does three things production code never should: corrupt saved
-// flat files in controlled, layout-aware ways (corrupt.go), wrap an index
-// so the queries its searchers answer can be made to panic, fail or stall
-// on demand (this file), and drive misbehaving client load at a live
-// server while recording every request's fate (client.go).
-//
-// Nothing outside _test files should import this package.
 package chaos
 
 import (

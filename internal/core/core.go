@@ -1,11 +1,3 @@
-// Package core is the paper's actual contribution rendered as code: a
-// single experimental framework in which all five techniques — the
-// bidirectional Dijkstra baseline, CH, TNR, SILC and PCPD (plus the ALT
-// extension) — are built behind one interface and measured under identical
-// conditions: same graphs, same query workloads, same timing and space
-// accounting, and the same memory-ceiling rule the paper applies ("we
-// report the results of a technique on a dataset only when the size of its
-// indexing structure is less than 24 GB").
 package core
 
 import (

@@ -1,0 +1,29 @@
+// Package core is the paper's actual contribution rendered as code: a
+// single experimental framework in which all five techniques — the
+// bidirectional Dijkstra baseline, CH, TNR, SILC and PCPD (plus the ALT
+// extension) — are built behind one interface and measured under identical
+// conditions: same graphs, same query workloads, same timing and space
+// accounting, and the same memory-ceiling rule the paper applies ("we
+// report the results of a technique on a dataset only when the size of its
+// indexing structure is less than 24 GB").
+//
+// The package divides into:
+//
+//   - The Index/Searcher contract (core.go): immutable index data shared
+//     across goroutines, mutable per-query state confined to searchers,
+//     context-polling cancellation at bounded intervals in every search
+//     loop.
+//   - Pool (pool.go): reusable searchers for request-per-goroutine
+//     servers — optionally bounded (WithMaxSearchers), pre-warmed
+//     (Prewarm) and instrumented (WithMetrics); the distance hot path
+//     stays allocation-free and lock-free.
+//   - Batch acceleration (batch dispatch in pool.go): the per-technique
+//     many-to-many algorithms behind DistanceMatrix, all bit-identical to
+//     per-pair queries.
+//   - Streaming paths (path.go): lazy PathIterators over every
+//     technique's native path production.
+//   - The spatial tier (spatial.go): an R-tree locator composed with the
+//     network engines for point location, network k-NN and range queries.
+//   - Persistence (loadfile.go): the flat v2 zero-copy load path with
+//     checksum verification, plus the legacy v1 streams.
+package core

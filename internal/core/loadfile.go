@@ -33,6 +33,10 @@ type LoadInfo struct {
 	// legacy v1 streams and pre-checksum flat files (which cannot be
 	// audited) and for loads that passed binio.WithoutVerify.
 	Verified bool
+	// VerifyTime is how much of LoadTime the checksum sweep took (zero
+	// when verification was skipped). Operators watching startup latency
+	// want this split out: the sweep is the part WithoutVerify removes.
+	VerifyTime time.Duration
 }
 
 // Mode renders the load path as a short label for logs.
@@ -116,6 +120,7 @@ func LoadIndexFile(method Method, path string, g *graph.Graph, preferMmap bool, 
 	info.Flat = true
 	info.SizeBytes = f.SizeBytes()
 	info.Verified = f.Verified()
+	info.VerifyTime = f.VerifyTime()
 	info.LoadTime = time.Since(start)
 	return idx, info, nil
 }

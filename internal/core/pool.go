@@ -4,8 +4,10 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"roadnet/internal/graph"
+	"roadnet/internal/metrics"
 )
 
 // Pool hands out reusable Searchers over one shared Index so any number of
@@ -37,6 +39,22 @@ type Pool struct {
 	max     int64
 	idle    chan Searcher
 	created atomic.Int64
+
+	// Occupancy instrumentation, maintained unconditionally: plain atomic
+	// adds on the Get/Put paths, so the zero-allocation guarantee of the
+	// CH distance hot path is untouched (see pool_bench_test.go).
+	inUse     atomic.Int64
+	waiting   atomic.Int64
+	prewarmed atomic.Int64
+
+	// waitObs, when set (WithMetrics), observes how long a Get blocked for
+	// a free searcher on an exhausted bounded pool. The unblocked fast
+	// paths never call it — their wait is zero by construction.
+	waitObs atomic.Value // func(time.Duration)
+
+	// reg defers metric registration until after all options have applied,
+	// so WithMetrics composes with WithMaxSearchers in any order.
+	reg *metrics.Registry
 }
 
 // PoolOption configures NewPool.
@@ -52,6 +70,15 @@ func WithMaxSearchers(n int) PoolOption {
 	}
 }
 
+// WithMetrics registers the pool's occupancy instrumentation with reg:
+// gauges for checked-out searchers, goroutines waiting on an exhausted
+// bounded pool, the prewarmed count and the configured cap, plus a
+// histogram of how long Get blocked (see docs/METRICS.md). Register at
+// most one pool per registry — the metric names are fixed.
+func WithMetrics(reg *metrics.Registry) PoolOption {
+	return func(p *Pool) { p.reg = reg }
+}
+
 // NewPool returns a searcher pool over idx.
 func NewPool(idx Index, opts ...PoolOption) *Pool {
 	p := &Pool{idx: idx}
@@ -63,8 +90,43 @@ func NewPool(idx Index, opts ...PoolOption) *Pool {
 	} else {
 		p.pool.New = func() any { return idx.NewSearcher() }
 	}
+	if p.reg != nil {
+		p.registerMetrics(p.reg)
+	}
 	return p
 }
+
+// registerMetrics wires the occupancy gauges and the get-wait histogram.
+// The gauges read the pool's live atomics at scrape time; nothing is
+// added to the query hot path beyond the unconditional atomic counters.
+func (p *Pool) registerMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("roadnet_pool_in_use",
+		"Searchers currently checked out of the pool.",
+		func() float64 { return float64(p.InUse()) })
+	reg.GaugeFunc("roadnet_pool_waiting",
+		"Goroutines blocked in Get waiting for a free searcher (bounded pools only).",
+		func() float64 { return float64(p.Waiting()) })
+	reg.GaugeFunc("roadnet_pool_prewarmed",
+		"Searchers built ahead of traffic by Prewarm.",
+		func() float64 { return float64(p.Prewarmed()) })
+	reg.GaugeFunc("roadnet_pool_max_searchers",
+		"Configured cap on live searchers (0 = unbounded).",
+		func() float64 { return float64(p.MaxSearchers()) })
+	h := reg.Histogram("roadnet_pool_get_wait_seconds",
+		"Time a request waited for a searcher on an exhausted bounded pool. Unblocked checkouts are not observed.",
+		metrics.LatencyBuckets)
+	p.waitObs.Store(func(d time.Duration) { h.Observe(d.Seconds()) })
+}
+
+// InUse reports how many searchers are currently checked out.
+func (p *Pool) InUse() int { return int(p.inUse.Load()) }
+
+// Waiting reports how many goroutines are blocked in Get waiting for a
+// searcher. Always zero on an unbounded pool.
+func (p *Pool) Waiting() int { return int(p.waiting.Load()) }
+
+// Prewarmed reports how many searchers Prewarm has built.
+func (p *Pool) Prewarmed() int { return int(p.prewarmed.Load()) }
 
 // Index returns the shared index the pool serves.
 func (p *Pool) Index() Index { return p.idx }
@@ -93,25 +155,52 @@ func (p *Pool) GetContext(ctx context.Context) (Searcher, error) {
 	if p.max > 0 {
 		select {
 		case s := <-p.idle:
+			p.inUse.Add(1)
 			return s, nil
 		default:
 		}
 		if p.created.Add(1) <= p.max {
+			p.inUse.Add(1)
 			return p.idx.NewSearcher(), nil
 		}
 		p.created.Add(-1)
+		// The pool is exhausted: this request will block until a searcher
+		// comes back. The wait is the pool-saturation signal operators
+		// alert on, so it is both gauged (waiting) and, when metrics are
+		// wired, timed into the get-wait histogram.
+		obs, _ := p.waitObs.Load().(func(time.Duration))
+		var start time.Time
+		if obs != nil {
+			start = time.Now()
+		}
+		p.waiting.Add(1)
+		defer p.waiting.Add(-1)
 		select {
 		case s := <-p.idle:
+			if obs != nil {
+				obs(time.Since(start))
+			}
+			p.inUse.Add(1)
 			return s, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
-	return p.pool.Get().(Searcher), nil
+	s := p.pool.Get().(Searcher)
+	p.inUse.Add(1)
+	return s, nil
 }
 
 // Put returns a searcher obtained from Get to the pool.
 func (p *Pool) Put(s Searcher) {
+	p.inUse.Add(-1)
+	p.park(s)
+}
+
+// park returns a searcher to the idle set without touching the occupancy
+// accounting — the path shared by Put (which pairs with a Get) and
+// Prewarm (whose searchers were never checked out).
+func (p *Pool) park(s Searcher) {
 	if p.max > 0 {
 		p.idle <- s
 		return
@@ -141,9 +230,12 @@ func (p *Pool) Prewarm(n int) int {
 	}
 	// Park them only after creating all of them: an immediate Put-per-Get
 	// would let one searcher be handed back out and defeat the warming.
+	// park, not Put: these searchers were never checked out, so they must
+	// not drive the occupancy gauge negative.
 	for _, s := range warmed {
-		p.Put(s)
+		p.park(s)
 	}
+	p.prewarmed.Add(int64(len(warmed)))
 	return len(warmed)
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"roadnet/internal/dijkstra"
 	"roadnet/internal/geom"
@@ -51,6 +52,21 @@ type SpatialLocator struct {
 	g    *graph.Graph
 	tree *rtree.Tree
 	dctx sync.Pool // *dijkstra.Context for the bounded-search paths
+
+	// k-NN dispatch counters: how many KNearest calls ran the SILC
+	// distance-browsing fast path (seeded) versus the bounded-Dijkstra
+	// fallback. The answers are bit-identical either way; the ratio tells
+	// an operator whether the index they deployed is actually serving the
+	// fast path (see KNNCounts).
+	knnSeeded   atomic.Int64
+	knnDijkstra atomic.Int64
+}
+
+// KNNCounts reports how KNearest queries were dispatched: seeded through
+// SILC distance browsing, or answered by the bounded-Dijkstra fallback.
+// Safe for concurrent use.
+func (l *SpatialLocator) KNNCounts() (seeded, dijkstra int64) {
+	return l.knnSeeded.Load(), l.knnDijkstra.Load()
 }
 
 // NewSpatialLocator bulk-loads (STR) an R-tree over g's vertex
@@ -141,6 +157,7 @@ func (l *SpatialLocator) KNearest(ctx context.Context, idx Index, s graph.Vertex
 		return nil, nil
 	}
 	if sx := SILCOf(idx); sx != nil && sx.NearestEnabled() {
+		l.knnSeeded.Add(1)
 		// k+1 geometric candidates: s itself is among them and is skipped.
 		seeds := l.NearestVertices(l.g.Coord(s), k+1)
 		res, _, err := sx.NearestKPruned(ctx, s, k, seeds)
@@ -153,6 +170,7 @@ func (l *SpatialLocator) KNearest(ctx context.Context, idx Index, s graph.Vertex
 		}
 		return out, nil
 	}
+	l.knnDijkstra.Add(1)
 	c := l.dctx.Get().(*dijkstra.Context)
 	defer l.dctx.Put(c)
 	vs, err := c.KNearest(ctx, s, k)

@@ -1,0 +1,36 @@
+// Package metrics is a dependency-free, race-clean metrics registry with
+// Prometheus text exposition — the measurement layer the paper's whole
+// methodology implies: an experimental evaluation of query techniques is
+// only as good as its instrumentation, and a production deployment of the
+// winning techniques needs the same rigor at serve time.
+//
+// Three instrument kinds cover every signal the server emits:
+//
+//   - Counter: a monotonically increasing uint64 (requests served, pairs
+//     answered, truncations). Backed by one atomic add; never decreases.
+//   - Gauge: a float64 that goes both ways (in-flight requests, pool
+//     occupancy, draining/degraded flags). Set is one atomic store, Add a
+//     short CAS loop.
+//   - Histogram: fixed upper-bound buckets with an observation count and
+//     sum (request latency, pool get-wait, batch sizes). Observe is a
+//     linear scan over ~15 bounds plus three atomic updates — no locks,
+//     no allocation.
+//
+// Labeled variants (CounterVec, GaugeVec, HistogramVec) key children by
+// their label values through a sync.Map: the read path is lock-free, and
+// hot call sites resolve their child once at wiring time (see
+// internal/server) rather than per observation.
+//
+// GaugeFunc and CounterFunc adapt values the program already maintains
+// (pool occupancy, TNR fallback counters, health flags) without double
+// bookkeeping: the function is called at scrape time only.
+//
+// Exposition follows the Prometheus text format, version 0.0.4: families
+// sorted by name, children sorted by label values, histograms rendered as
+// cumulative _bucket{le="..."} series plus _sum and _count. Serve a
+// Registry with its Handler (conventionally at GET /metrics).
+//
+// Registration panics on invalid or duplicate names: wiring happens once
+// at startup, and a silently dropped metric is worse than a crash during
+// deployment rollout.
+package metrics

@@ -1,0 +1,148 @@
+package metrics
+
+// Prometheus text exposition, format version 0.0.4. The writer renders a
+// point-in-time snapshot: families sorted by name, children sorted by
+// label values, histograms as cumulative _bucket{le="..."} series plus
+// _sum and _count. Values observed while a scrape is in flight may or may
+// not appear in it — each individual sample is still atomically read, so
+// a scrape never sees a torn value.
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		writeFamily(bw, f)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in the Prometheus text format — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func writeFamily(bw *bufio.Writer, f *family) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(escapeHelp(f.help))
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(f.name)
+	bw.WriteByte(' ')
+	bw.WriteString(string(f.kind))
+	bw.WriteByte('\n')
+
+	if f.fn != nil {
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(formatFloat(f.fn()))
+		bw.WriteByte('\n')
+		return
+	}
+
+	for _, c := range f.sortedChildren() {
+		switch m := c.metric.(type) {
+		case *Counter:
+			writeSample(bw, f.name, "", f.labels, c.values, "", "", strconv.FormatUint(m.Value(), 10))
+		case *Gauge:
+			writeSample(bw, f.name, "", f.labels, c.values, "", "", formatFloat(m.Value()))
+		case *Histogram:
+			var cum uint64
+			for i, ub := range m.upper {
+				cum += m.buckets[i].Load()
+				writeSample(bw, f.name, "_bucket", f.labels, c.values, "le", formatFloat(ub), strconv.FormatUint(cum, 10))
+			}
+			writeSample(bw, f.name, "_bucket", f.labels, c.values, "le", "+Inf", strconv.FormatUint(m.Count(), 10))
+			writeSample(bw, f.name, "_sum", f.labels, c.values, "", "", formatFloat(m.Sum()))
+			writeSample(bw, f.name, "_count", f.labels, c.values, "", "", strconv.FormatUint(m.Count(), 10))
+		}
+	}
+}
+
+// sortedChildren snapshots the children sorted by label values, so the
+// exposition order is stable across scrapes.
+func (f *family) sortedChildren() []*child {
+	var out []*child
+	f.children.Range(func(_, v any) bool {
+		out = append(out, v.(*child))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// writeSample renders one line: name[suffix]{labels...,extraK="extraV"} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraK, extraV, val string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(extraV)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(val)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus clients conventionally
+// do: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text-format output for one family of
+// each kind. The format is a wire contract with the Prometheus scraper; a
+// formatting regression here corrupts every dashboard downstream.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests served.")
+	c.Add(42)
+	g := r.Gauge("in_flight", "Requests in flight.")
+	g.Set(3)
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(2)
+	cv := r.CounterVec("by_code_total", "Requests by code.", "endpoint", "code")
+	cv.With("/v1/route", "2xx").Add(7)
+	cv.With("/v1/route", "499").Inc()
+	cv.With(`/v1/odd"path`, "2xx").Inc() // label escaping
+
+	const want = `# HELP by_code_total Requests by code.
+# TYPE by_code_total counter
+by_code_total{endpoint="/v1/odd\"path",code="2xx"} 1
+by_code_total{endpoint="/v1/route",code="2xx"} 7
+by_code_total{endpoint="/v1/route",code="499"} 1
+# HELP in_flight Requests in flight.
+# TYPE in_flight gauge
+in_flight 3
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="0.5"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 2.4
+latency_seconds_count 4
+# HELP requests_total Total requests served.
+# TYPE requests_total counter
+requests_total 42
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "a_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}

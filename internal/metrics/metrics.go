@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use, but counters are normally created through a Registry so they are
+// exposed.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only count up; negative deltas are a programming
+// error the type system already prevents.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets and tracks
+// their sum. Observe is lock-free and allocation-free.
+type Histogram struct {
+	upper   []float64 // sorted strictly increasing; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upper []float64) *Histogram {
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not strictly increasing at %v", upper[i]))
+		}
+	}
+	// Copy so a caller-retained slice cannot mutate the bounds.
+	u := append([]float64(nil), upper...)
+	return &Histogram{upper: u, buckets: make([]atomic.Uint64, len(u))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LatencyBuckets spans 50µs to 2.5s — the range from a warm CH table
+// lookup to a continental Dijkstra fallback under load.
+var LatencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// SizeBuckets is a geometric ladder for request sizes (batch pairs,
+// streamed rows): 1 to ~1M in powers of 8.
+var SizeBuckets = []float64{1, 8, 64, 512, 4096, 32768, 262144, 1 << 20}
+
+// metricKind is the TYPE line of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one exposition family: a name, help, type, label schema and a
+// set of children keyed by their label values.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	// children maps the joined label values to a *child. Unlabeled
+	// families have exactly one child under the empty key.
+	children sync.Map
+
+	// fn, when non-nil, makes this a function-backed single-value family
+	// (CounterFunc/GaugeFunc): the value is read at scrape time.
+	fn func() float64
+}
+
+// child is one labeled instrument of a family.
+type child struct {
+	values []string
+	metric any // *Counter, *Gauge or *Histogram
+}
+
+// labelKey joins label values into a map key. \x1f (ASCII unit separator)
+// cannot appear in reasonable label values; even if it does, the worst
+// case is two label sets sharing a child, never corruption.
+func labelKey(values []string) string {
+	if len(values) == 1 {
+		return values[0]
+	}
+	return strings.Join(values, "\x1f")
+}
+
+func (f *family) get(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	if c, ok := f.children.Load(key); ok {
+		return c.(*child).metric
+	}
+	var m any
+	switch f.kind {
+	case kindCounter:
+		m = &Counter{}
+	case kindGauge:
+		m = &Gauge{}
+	case kindHistogram:
+		m = newHistogram(f.buckets)
+	}
+	c := &child{values: append([]string(nil), values...), metric: m}
+	if prev, loaded := f.children.LoadOrStore(key, c); loaded {
+		return prev.(*child).metric
+	}
+	return m
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Hot call sites should resolve their child once and retain it.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).(*Counter) }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).(*Gauge) }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).(*Histogram) }
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. Registration is mutex-protected (it happens at wiring time);
+// observation paths never touch the registry lock.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// validName reports whether s is a legal metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabel reports whether s is a legal label name
+// ([a-zA-Z_][a-zA-Z0-9_]*).
+func validLabel(s string) bool {
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validName(s)
+}
+
+func (r *Registry) add(name, help string, kind metricKind, labels []string, buckets []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic("metrics: invalid label name " + l + " on " + name)
+		}
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets, fn: fn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[name]; dup {
+		panic("metrics: duplicate registration of " + name)
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.add(name, help, kindCounter, nil, nil, nil).get(nil).(*Counter)
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs at least one label; use Counter")
+	}
+	return &CounterVec{r.add(name, help, kindCounter, labels, nil, nil)}
+}
+
+// CounterFunc registers a counter whose value is fn() at scrape time — for
+// counts the program already maintains (e.g. TNR fallback counters). fn
+// must be safe for concurrent use and monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(name, help, kindCounter, nil, nil, fn)
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.add(name, help, kindGauge, nil, nil, nil).get(nil).(*Gauge)
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: GaugeVec needs at least one label; use Gauge")
+	}
+	return &GaugeVec{r.add(name, help, kindGauge, labels, nil, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is fn() at scrape time — for
+// state the program already tracks (pool occupancy, draining flags). fn
+// must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(name, help, kindGauge, nil, nil, fn)
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// upper bucket bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.add(name, help, kindHistogram, nil, buckets, nil).get(nil).(*Histogram)
+}
+
+// HistogramVec registers a histogram family with the given bounds and
+// label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs at least one label; use Histogram")
+	}
+	return &HistogramVec{r.add(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// families returns a name-sorted snapshot for exposition.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,65 @@
+// Package server exposes a road-network query index over HTTP with a small
+// JSON API — the "online map service" deployment shape the paper's
+// introduction motivates (responsive query processing over memory-resident
+// indexes).
+//
+// Endpoints:
+//
+//	GET  /v1/distance?from=ID&to=ID     distance query (§2)
+//	GET  /v1/route?from=ID&to=ID        shortest path query (§2)
+//	GET  /v1/nearest?x=X&y=Y            nearest vertex to a coordinate
+//	GET  /v1/stats                      index and graph statistics
+//	POST /v1/knn                        network k-nearest neighbors
+//	POST /v1/within                     network range (vertices within a distance)
+//	POST /v1/batch/distance             source x target distance matrix
+//	POST /v1/batch/route                source x target full-path matrix
+//
+// Spatial tier: /v1/nearest snaps coordinates through a core.SpatialLocator
+// (an STR-packed R-tree over the vertex coordinates — point location is
+// O(log n), not a grid scan), /v1/route accepts from_x/from_y (to_x/to_y)
+// coordinate endpoints snapped the same way, and /v1/knn + /v1/within
+// answer the Appendix A "nearest restaurant at driving distance" workload:
+// k-NN by network distance (SILC distance browsing seeded with R-tree
+// candidates when the index supports it, bounded Dijkstra otherwise — the
+// answers are bit-identical either way) and network range with an optional
+// R-tree geometric pre-filter.
+//
+// Concurrency: the index data of every technique is immutable after
+// construction, so the server shares one Index across all request
+// goroutines and hands each request a per-goroutine query context from a
+// core.Pool — there is no global query lock, and throughput scales with
+// cores.
+//
+// Batch acceleration: the batch endpoints answer an entire sources x
+// targets matrix in one request, and the distance matrix is computed with
+// the best per-technique accelerator (see core.Pool.BatchDistance): CH runs
+// the bucket many-to-many algorithm (one search per endpoint), TNR one
+// table-lookup sweep with per-endpoint access-node operands hoisted, SILC
+// target-wise walks with shared path-suffix memoization; every other
+// technique answers the pairs point-to-point on a pooled searcher. Batch
+// route answers are always computed per pair so they are path-identical to
+// sequential /v1/route calls.
+//
+// Cancellation: every handler propagates r.Context() into the query, and
+// every technique's search loop polls it at bounded intervals (see the
+// core.Searcher cancellation contract), so a client that disconnects or
+// times out stops burning server CPU within a bounded number of search
+// steps — even mid-way through a long fallback search or a large batch
+// matrix. An aborted request is answered with 499 (client closed request)
+// or 503 (deadline exceeded); a disconnected client never reads it, but
+// tests and proxies do.
+//
+// # Observability
+//
+// WithMetrics wires a metrics.Registry through every layer and serves it
+// at GET /metrics in Prometheus text format: per-endpoint request counts,
+// latency histograms and the in-flight gauge (recorded by the outermost
+// middleware, so panic-recovery 500s and rate-limit 429s are counted like
+// any other answer), per-technique query counters, batch stream
+// accounting (pairs, streamed rows, truncations, vertex-budget hits),
+// searcher-pool occupancy, and the draining/degraded/verified serving
+// state. The scrape endpoint is exempt from rate limiting, like the
+// health probes. All instrumentation is atomic adds on the request path —
+// no locks, no allocations — and a server built without WithMetrics pays
+// only nil checks. docs/METRICS.md documents every metric name.
+package server

@@ -51,6 +51,9 @@ func (h *Health) Degraded() bool { return h.degraded.Load() }
 // state was verified at load.
 func (h *Health) SetVerified(v bool) { h.verified.Store(v) }
 
+// Verified reports the last SetVerified value.
+func (h *Health) Verified() bool { return h.verified.Load() }
+
 // healthzResponse is the liveness body: the process is up and the handler
 // chain is answering.
 type healthzResponse struct {

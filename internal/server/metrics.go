@@ -1,0 +1,267 @@
+// Server instrumentation: the /metrics exposition and the middleware that
+// feeds it. The paper's whole contribution is careful measurement of query
+// techniques; this file is the serve-time counterpart — every layer the
+// request passes through (admission, pool, technique dispatch, streaming)
+// reports what it did, in Prometheus text format, without locks on any hot
+// path. docs/METRICS.md is the operator-facing reference for every name
+// registered here.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"roadnet/internal/core"
+	"roadnet/internal/metrics"
+)
+
+// WithMetrics exposes the server's instrumentation through reg and serves
+// it at GET /metrics: per-endpoint request counters, latency histograms
+// and the in-flight gauge, per-technique query counters, batch stream
+// accounting, and readiness-state gauges. When the server builds its own
+// default pool, the pool's occupancy metrics are registered too; a pool
+// supplied with WithPool should be built with core.WithMetrics on the same
+// registry (as cmd/spserve does), since the server must not second-guess
+// a caller-owned pool's wiring.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.metricsReg = reg }
+}
+
+// serverMetrics holds every instrument the HTTP layer feeds. A nil
+// *serverMetrics is valid and inert — all observation methods are
+// nil-receiver-safe, so handlers call them unconditionally and servers
+// without WithMetrics pay only the nil check.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	inflight *metrics.Gauge
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
+
+	// queries maps a query kind ("distance", "route", ...) to its
+	// pre-resolved child of roadnet_queries_total, so the per-request path
+	// is one map lookup and one atomic add.
+	queries map[string]*metrics.Counter
+
+	// Batch accounting, children pre-resolved per endpoint.
+	pairs      map[string]*metrics.Histogram
+	rows       map[string]*metrics.Counter
+	truncation map[string]*metrics.Counter
+	budgetHits *metrics.Counter
+}
+
+// queryKinds are the label values of roadnet_queries_total's kind label,
+// one per query-serving endpoint.
+var queryKinds = []string{
+	"distance", "route", "nearest", "knn", "within", "batch_distance", "batch_route",
+}
+
+// batchEndpoints are the label values of the batch accounting families.
+var batchEndpoints = []string{"batch_distance", "batch_route"}
+
+// newServerMetrics registers every server-level family with reg and
+// resolves the hot-path children. Called once from New, after the pool,
+// health and spatial locator are wired, so the gauge functions can close
+// over them.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+
+	m.inflight = reg.Gauge("roadnet_http_requests_in_flight",
+		"Requests currently being served.")
+	m.requests = reg.CounterVec("roadnet_http_requests_total",
+		"Requests served, by route pattern and status (exact code for 429/499/500/503, class otherwise).",
+		"endpoint", "code")
+	m.latency = reg.HistogramVec("roadnet_http_request_duration_seconds",
+		"Wall-clock time from the first middleware to the response, by route pattern.",
+		metrics.LatencyBuckets, "endpoint")
+
+	method := string(s.idx.Method())
+	qv := reg.CounterVec("roadnet_queries_total",
+		"Queries answered, by serving technique and query kind.",
+		"method", "kind")
+	m.queries = make(map[string]*metrics.Counter, len(queryKinds))
+	for _, k := range queryKinds {
+		m.queries[k] = qv.With(method, k)
+	}
+
+	pairs := reg.HistogramVec("roadnet_batch_pairs",
+		"Sources x targets pairs per accepted batch request (the _sum is total pairs answered).",
+		metrics.SizeBuckets, "endpoint")
+	rows := reg.CounterVec("roadnet_batch_rows_streamed_total",
+		"Response units streamed: matrix rows for batch distance, path cells for batch route.",
+		"endpoint")
+	m.pairs = make(map[string]*metrics.Histogram, len(batchEndpoints))
+	m.rows = make(map[string]*metrics.Counter, len(batchEndpoints))
+	for _, e := range batchEndpoints {
+		m.pairs[e] = pairs.With(e)
+		m.rows[e] = rows.With(e)
+	}
+	trunc := reg.CounterVec("roadnet_batch_truncations_total",
+		"Batch responses cut short after commit: NDJSON in-band markers and JSON connection aborts.",
+		"mode")
+	m.truncation = map[string]*metrics.Counter{
+		"json":   trunc.With("json"),
+		"ndjson": trunc.With("ndjson"),
+	}
+	m.budgetHits = reg.Counter("roadnet_batch_vertex_budget_hits_total",
+		"Batch route requests stopped by the total-vertex budget (413 or in-band truncation).")
+
+	// Serving-state gauges read the shared Health record at scrape time —
+	// the same flags /readyz reports, in a form dashboards can plot.
+	h := s.health
+	reg.GaugeFunc("roadnet_server_draining",
+		"1 while the server is draining for shutdown (readiness answers 503).",
+		func() float64 { return boolGauge(h.Draining()) })
+	reg.GaugeFunc("roadnet_server_degraded",
+		"1 while serving exact Dijkstra answers because the real index failed verification.",
+		func() float64 { return boolGauge(h.Degraded()) })
+	reg.GaugeFunc("roadnet_index_verified",
+		"1 when every byte behind the serving state was built in-process or checksum-verified at load.",
+		func() float64 { return boolGauge(h.Verified()) })
+
+	// Technique-level dispatch counters. TNR's table/fallback split is the
+	// live analogue of the paper's Figure 9/11 locality analysis; the k-NN
+	// split shows whether the SILC fast path actually serves /v1/knn.
+	if t := core.TNROf(s.idx); t != nil {
+		reg.CounterFunc("roadnet_tnr_table_queries_total",
+			"TNR queries answered from the precomputed transit-node tables, across all searchers.",
+			func() float64 { table, _ := t.QueryCounts(); return float64(table) })
+		reg.CounterFunc("roadnet_tnr_fallback_queries_total",
+			"TNR queries answered by the fallback technique (local pairs), across all searchers.",
+			func() float64 { _, fb := t.QueryCounts(); return float64(fb) })
+	}
+	loc := s.spatial
+	reg.CounterFunc("roadnet_knn_silc_seeded_total",
+		"/v1/knn queries dispatched to SILC distance browsing seeded with R-tree candidates.",
+		func() float64 { seeded, _ := loc.KNNCounts(); return float64(seeded) })
+	reg.CounterFunc("roadnet_knn_dijkstra_total",
+		"/v1/knn queries answered by the bounded-Dijkstra fallback.",
+		func() float64 { _, dij := loc.KNNCounts(); return float64(dij) })
+
+	return m
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// countQuery records one query of the given kind against the serving
+// technique. kind must be one of queryKinds.
+func (m *serverMetrics) countQuery(kind string) {
+	if m == nil {
+		return
+	}
+	m.queries[kind].Inc()
+}
+
+// observeBatch records an accepted batch request's pair count.
+func (m *serverMetrics) observeBatch(endpoint string, pairs int) {
+	if m == nil {
+		return
+	}
+	m.pairs[endpoint].Observe(float64(pairs))
+}
+
+// countRows records n streamed response units for a batch endpoint.
+func (m *serverMetrics) countRows(endpoint string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.rows[endpoint].Add(uint64(n))
+}
+
+// countTruncation records a committed batch response cut short, by mode.
+func (m *serverMetrics) countTruncation(mode string) {
+	if m == nil {
+		return
+	}
+	m.truncation[mode].Inc()
+}
+
+// countBudgetHit records a batch route stopped by the vertex budget.
+func (m *serverMetrics) countBudgetHit() {
+	if m == nil {
+		return
+	}
+	m.budgetHits.Inc()
+}
+
+// statusWriter remembers the response status for the request counter. The
+// zero status means the handler never wrote — net/http sends an implicit
+// 200 for that. Flush and Unwrap keep streaming and ResponseController
+// working through the wrapper, exactly like trackingWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// codeLabel folds a status code into the label set of
+// roadnet_http_requests_total: the operationally distinct codes (429 rate
+// limited, 499 client gone, 500 panic, 503 overloaded/draining) stay
+// exact, everything else is its class — per-code label cardinality without
+// losing the codes dashboards alert on.
+func codeLabel(code int) string {
+	switch code {
+	case 0:
+		return "2xx" // handler wrote nothing; net/http sends 200
+	case http.StatusTooManyRequests,
+		statusClientClosedRequest,
+		http.StatusInternalServerError,
+		http.StatusServiceUnavailable:
+		return strconv.Itoa(code)
+	default:
+		return strconv.Itoa(code/100) + "xx"
+	}
+}
+
+// instrument is the outermost middleware: it resolves the route pattern,
+// tracks the in-flight gauge, and on the way out — including the unwind of
+// a deliberate mid-stream abort panic — records the latency histogram and
+// the (endpoint, code) request counter. It must wrap recoverPanics so the
+// 500 a recovered panic writes is observed like any other response.
+func (s *Server) instrument(mux *http.ServeMux, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Resolve the pattern without dispatching: unregistered paths
+		// collapse into one "other" label instead of minting a metric
+		// child per probe URL a scanner throws at us.
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "other"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.m.inflight.Inc()
+		defer func() {
+			s.m.inflight.Dec()
+			s.m.latency.With(pattern).Observe(time.Since(start).Seconds())
+			s.m.requests.With(pattern, codeLabel(sw.code)).Inc()
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}

@@ -176,11 +176,13 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
-// rateLimit is the admission middleware. Health probes bypass it: the
-// load balancer asking /readyz is not the client being throttled.
+// rateLimit is the admission middleware. Health probes and the metrics
+// scrape bypass it: the load balancer asking /readyz and the collector
+// scraping /metrics are not the clients being throttled — and throttling
+// the scraper would blind the operator exactly when the node is busiest.
 func (s *Server) rateLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -1,53 +1,3 @@
-// Package server exposes a road-network query index over HTTP with a small
-// JSON API — the "online map service" deployment shape the paper's
-// introduction motivates (responsive query processing over memory-resident
-// indexes).
-//
-// Endpoints:
-//
-//	GET  /v1/distance?from=ID&to=ID     distance query (§2)
-//	GET  /v1/route?from=ID&to=ID        shortest path query (§2)
-//	GET  /v1/nearest?x=X&y=Y            nearest vertex to a coordinate
-//	GET  /v1/stats                      index and graph statistics
-//	POST /v1/knn                        network k-nearest neighbors
-//	POST /v1/within                     network range (vertices within a distance)
-//	POST /v1/batch/distance             source x target distance matrix
-//	POST /v1/batch/route                source x target full-path matrix
-//
-// Spatial tier: /v1/nearest snaps coordinates through a core.SpatialLocator
-// (an STR-packed R-tree over the vertex coordinates — point location is
-// O(log n), not a grid scan), /v1/route accepts from_x/from_y (to_x/to_y)
-// coordinate endpoints snapped the same way, and /v1/knn + /v1/within
-// answer the Appendix A "nearest restaurant at driving distance" workload:
-// k-NN by network distance (SILC distance browsing seeded with R-tree
-// candidates when the index supports it, bounded Dijkstra otherwise — the
-// answers are bit-identical either way) and network range with an optional
-// R-tree geometric pre-filter.
-//
-// Concurrency: the index data of every technique is immutable after
-// construction, so the server shares one Index across all request
-// goroutines and hands each request a per-goroutine query context from a
-// core.Pool — there is no global query lock, and throughput scales with
-// cores.
-//
-// Batch acceleration: the batch endpoints answer an entire sources x
-// targets matrix in one request, and the distance matrix is computed with
-// the best per-technique accelerator (see core.Pool.BatchDistance): CH runs
-// the bucket many-to-many algorithm (one search per endpoint), TNR one
-// table-lookup sweep with per-endpoint access-node operands hoisted, SILC
-// target-wise walks with shared path-suffix memoization; every other
-// technique answers the pairs point-to-point on a pooled searcher. Batch
-// route answers are always computed per pair so they are path-identical to
-// sequential /v1/route calls.
-//
-// Cancellation: every handler propagates r.Context() into the query, and
-// every technique's search loop polls it at bounded intervals (see the
-// core.Searcher cancellation contract), so a client that disconnects or
-// times out stops burning server CPU within a bounded number of search
-// steps — even mid-way through a long fallback search or a large batch
-// matrix. An aborted request is answered with 499 (client closed request)
-// or 503 (deadline exceeded); a disconnected client never reads it, but
-// tests and proxies do.
 package server
 
 import (
@@ -63,6 +13,7 @@ import (
 	"roadnet/internal/core"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
+	"roadnet/internal/metrics"
 )
 
 // DefaultMaxBatchPairs bounds the sources x targets matrix size of one
@@ -108,6 +59,9 @@ type Server struct {
 	spatial *core.SpatialLocator
 	health  *Health
 	limiter *rateLimiter
+
+	metricsReg *metrics.Registry
+	m          *serverMetrics // nil when metrics are disabled
 
 	maxBatchPairs      int
 	maxBatchRoutePairs int
@@ -241,7 +195,14 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 		s.maxBatchRoutePairs = s.maxBatchPairs
 	}
 	if s.pool == nil {
-		s.pool = core.NewPool(idx)
+		// A default pool under a metrics-enabled server reports its
+		// occupancy on the same registry. Caller-supplied pools wire their
+		// own metrics (core.WithMetrics) — see spserve.
+		if s.metricsReg != nil {
+			s.pool = core.NewPool(idx, core.WithMetrics(s.metricsReg))
+		} else {
+			s.pool = core.NewPool(idx)
+		}
 	}
 	if s.spatial == nil {
 		s.spatial = core.NewSpatialLocator(g)
@@ -249,11 +210,16 @@ func New(g *graph.Graph, idx core.Index, opts ...Option) *Server {
 	if s.health == nil {
 		s.health = NewHealth()
 	}
+	if s.metricsReg != nil {
+		s.m = newServerMetrics(s.metricsReg, s)
+	}
 	return s
 }
 
 // Handler returns the HTTP handler with all routes registered, wrapped in
-// the resilience middleware chain: panic recovery outermost (a crashing
+// the resilience middleware chain: instrumentation outermost when metrics
+// are enabled (so the request counter sees what every inner layer — panic
+// recovery included — actually answered), then panic recovery (a crashing
 // handler answers 500 and the process keeps serving), then per-client
 // admission control (when configured), then the per-request deadline
 // (when configured), then the routes.
@@ -269,6 +235,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch/route", s.handleBatchRoute)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.m != nil {
+		mux.Handle("GET /metrics", s.m.reg.Handler())
+	}
 	var h http.Handler = mux
 	if s.requestTimeout > 0 {
 		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -280,7 +249,11 @@ func (s *Server) Handler() http.Handler {
 	if s.limiter != nil {
 		h = s.rateLimit(h)
 	}
-	return recoverPanics(h)
+	h = recoverPanics(h)
+	if s.m != nil {
+		h = s.instrument(mux, h)
+	}
+	return h
 }
 
 type errorResponse struct {
@@ -345,6 +318,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	s.m.countQuery("distance")
 	d, err := s.pool.DistanceContext(r.Context(), from, to)
 	if err != nil {
 		writeAborted(w, err)
@@ -413,6 +387,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	s.m.countQuery("route")
 	sr, err := s.pool.GetContext(r.Context())
 	if err != nil {
 		writeAborted(w, err)
@@ -534,6 +509,8 @@ func (s *Server) handleBatchDistance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.m.countQuery("batch_distance")
+	s.m.observeBatch("batch_distance", len(sources)*len(targets))
 	table, err := s.pool.BatchDistance(r.Context(), sources, targets)
 	if err != nil {
 		writeAborted(w, err)
@@ -588,6 +565,8 @@ func (s *Server) handleBatchRoute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.m.countQuery("batch_route")
+	s.m.observeBatch("batch_route", len(sources)*len(targets))
 	sr, err := s.pool.GetContext(r.Context())
 	if err != nil {
 		writeAborted(w, err)
@@ -617,6 +596,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"parameters x and y must be integers"})
 		return
 	}
+	s.m.countQuery("nearest")
 	v := s.spatial.NearestVertex(geom.Point{X: int32(x), Y: int32(y)})
 	if v < 0 {
 		writeJSON(w, http.StatusNotFound, errorResponse{"empty graph"})

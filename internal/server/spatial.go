@@ -118,6 +118,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.pool.Put(sr)
+	s.m.countQuery("knn")
 	neighbors, err := s.spatial.KNearest(r.Context(), s.idx, src, req.K)
 	if err != nil {
 		writeAborted(w, err)
@@ -185,6 +186,7 @@ func (s *Server) handleWithin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.pool.Put(sr)
+	s.m.countQuery("within")
 	neighbors, truncated, err := s.spatial.Within(r.Context(), src, req.Radius, core.WithinOptions{
 		EuclidRadius: req.EuclidRadius,
 		MaxResults:   limit,

@@ -204,6 +204,7 @@ func (s *Server) streamBatchDistanceJSON(w http.ResponseWriter, sources, targets
 	}
 	st.writeString("}\n")
 	_ = st.bw.Flush()
+	s.m.countRows("batch_distance", len(table))
 }
 
 // streamBatchDistanceNDJSON streams the matrix as one header line echoing
@@ -228,6 +229,7 @@ func (s *Server) streamBatchDistanceNDJSON(w http.ResponseWriter, sources, targe
 	}
 	st.writeString("{\"done\":true}\n")
 	_ = st.bw.Flush()
+	s.m.countRows("batch_distance", len(table))
 }
 
 // streamBatchRouteJSON streams the classic single-document response.
@@ -239,6 +241,7 @@ func (s *Server) streamBatchRouteJSON(w http.ResponseWriter, r *http.Request, sr
 	st.writeString(`,"targets":`)
 	st.writeIDList(targets)
 	st.writeString(`,"routes":[`)
+	cells := 0
 	for i, src := range sources {
 		if i > 0 {
 			st.writeByte(',')
@@ -253,20 +256,27 @@ func (s *Server) streamBatchRouteJSON(w http.ResponseWriter, r *http.Request, sr
 				err = st.streamCell("", it, d, false)
 			}
 			if err != nil {
+				if errors.Is(err, errVertexBudget) {
+					s.m.countBudgetHit()
+				}
 				if !st.cw.committed {
 					st.abort(err)
 					return
 				}
+				s.m.countRows("batch_route", cells)
+				s.m.countTruncation("json")
 				// The 200 header and a partial document are on the wire;
 				// killing the connection is the only way left to signal
 				// failure without forging a well-formed-but-wrong response.
 				panic(http.ErrAbortHandler)
 			}
+			cells++
 		}
 		st.writeByte(']')
 	}
 	st.writeString("]}\n")
 	_ = st.bw.Flush()
+	s.m.countRows("batch_route", cells)
 }
 
 // streamBatchRouteNDJSON streams the line-framed response mode.
@@ -278,6 +288,7 @@ func (s *Server) streamBatchRouteNDJSON(w http.ResponseWriter, r *http.Request, 
 	st.writeString(`,"targets":`)
 	st.writeIDList(targets)
 	st.writeString("}\n")
+	cells := 0
 	for i, src := range sources {
 		for j, tgt := range targets {
 			it, d, err := core.OpenPath(r.Context(), sr, src, tgt)
@@ -287,26 +298,35 @@ func (s *Server) streamBatchRouteNDJSON(w http.ResponseWriter, r *http.Request, 
 					st.abort(err)
 					return
 				}
+				s.m.countRows("batch_route", cells)
+				s.m.countTruncation("ndjson")
 				st.truncate(err)
 				return
 			}
 			prefix := fmt.Sprintf(`"i":%d,"j":%d,`, i, j)
 			if err := st.streamCell(prefix, it, d, true); err != nil {
+				if errors.Is(err, errVertexBudget) {
+					s.m.countBudgetHit()
+				}
 				if !st.cw.committed {
 					st.abort(err)
 					return
 				}
 				st.writeByte('\n')
+				s.m.countRows("batch_route", cells)
+				s.m.countTruncation("ndjson")
 				st.truncate(err)
 				return
 			}
 			st.writeByte('\n')
+			cells++
 		}
 		// Row boundary: push finished rows to slow consumers.
 		_ = st.bw.Flush()
 	}
 	st.writeString("{\"done\":true}\n")
 	_ = st.bw.Flush()
+	s.m.countRows("batch_route", cells)
 }
 
 // truncate ends a committed NDJSON stream with its in-band marker line.

@@ -139,13 +139,13 @@ func (sr *Searcher) BatchDistance(ctx context.Context, sources, targets []graph.
 			pairs++
 			switch {
 			case ix.coarse.localityPasses(s, t):
-				sr.TableQueries++
+				sr.countTable()
 				row[j] = ix.coarse.batchDistance(srcCoarse.at(i), tgtCoarse.at(j))
 			case ix.fine != nil && ix.fine.localityPasses(s, t):
-				sr.TableQueries++
+				sr.countTable()
 				row[j] = ix.fine.batchDistance(srcFine.at(i), tgtFine.at(j))
 			default:
-				sr.FallbackQueries++
+				sr.countFallback()
 				d, err := sr.fallbackDistance(ctx, s, t)
 				if err != nil {
 					return nil, err

@@ -159,7 +159,7 @@ func (sr *Searcher) OpenPath(ctx context.Context, s, t graph.VertexID) (graph.Pa
 	}
 	ix := sr.ix
 	if !ix.CanAnswerFromTables(s, t) {
-		sr.FallbackQueries++
+		sr.countFallback()
 		return sr.fallbackOpenPath(ctx, s, t)
 	}
 	if ix.opts.Access != AccessCorrected {
@@ -173,7 +173,7 @@ func (sr *Searcher) OpenPath(ctx context.Context, s, t graph.VertexID) (graph.Pa
 		sr.pathIter.Reset(path)
 		return &sr.pathIter, d, nil
 	}
-	sr.TableQueries++
+	sr.countTable()
 	total := ix.tableDistance(s, t)
 	if total >= graph.Infinity {
 		return nil, graph.Infinity, nil

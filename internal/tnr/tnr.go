@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"roadnet/internal/ch"
@@ -121,6 +122,21 @@ type Index struct {
 	// They mirror the default searcher's counters and only cover queries
 	// issued through the Index's own methods.
 	FallbackQueries, TableQueries int
+
+	// tableN and fallbackN aggregate the same split across every searcher
+	// over this index, atomically, so a concurrent server can report its
+	// live fallback ratio (see QueryCounts). One atomic add per query is
+	// noise next to even a table lookup's O(|AN|²) work.
+	tableN, fallbackN atomic.Int64
+}
+
+// QueryCounts reports how queries over this index were answered, summed
+// across all searchers: table from the precomputed transit-node tables,
+// fallback by the configured fallback technique. Safe for concurrent use;
+// the ratio fallback/(table+fallback) is the live analogue of the
+// Figure 9/11 locality analysis.
+func (ix *Index) QueryCounts() (table, fallback int64) {
+	return ix.tableN.Load(), ix.fallbackN.Load()
 }
 
 // Searcher is a reusable query context over an Index: it owns the mutable
@@ -142,6 +158,19 @@ type Searcher struct {
 	// materialized path of the flawed-access variant (which may retract).
 	walk     tableWalkIter
 	pathIter graph.SlicePath
+}
+
+// countTable records one query answered from the precomputed tables, on
+// both the searcher's own counter and the index-wide atomic aggregate.
+func (sr *Searcher) countTable() {
+	sr.TableQueries++
+	sr.ix.tableN.Add(1)
+}
+
+// countFallback records one query answered by the fallback technique.
+func (sr *Searcher) countFallback() {
+	sr.FallbackQueries++
+	sr.ix.fallbackN.Add(1)
 }
 
 // NewSearcher returns a fresh query context sharing ix's immutable tables.
@@ -324,14 +353,14 @@ func (sr *Searcher) DistanceContext(ctx context.Context, s, t graph.VertexID) (i
 	}
 	ix := sr.ix
 	if ix.coarse.localityPasses(s, t) {
-		sr.TableQueries++
+		sr.countTable()
 		return ix.coarse.distance(s, t), nil
 	}
 	if ix.fine != nil && ix.fine.localityPasses(s, t) {
-		sr.TableQueries++
+		sr.countTable()
 		return ix.fine.distance(s, t), nil
 	}
-	sr.FallbackQueries++
+	sr.countFallback()
 	return sr.fallbackDistance(ctx, s, t)
 }
 
@@ -384,10 +413,10 @@ func (sr *Searcher) ShortestPathContext(ctx context.Context, s, t graph.VertexID
 	}
 	ix := sr.ix
 	if !ix.CanAnswerFromTables(s, t) {
-		sr.FallbackQueries++
+		sr.countFallback()
 		return sr.fallbackPath(ctx, s, t)
 	}
-	sr.TableQueries++
+	sr.countTable()
 	total := ix.tableDistance(s, t)
 	if total >= graph.Infinity {
 		return nil, graph.Infinity, nil

@@ -116,6 +116,7 @@ import (
 	"roadnet/internal/gen"
 	"roadnet/internal/geom"
 	"roadnet/internal/graph"
+	"roadnet/internal/metrics"
 	"roadnet/internal/pcpd"
 	"roadnet/internal/rtree"
 	"roadnet/internal/silc"
@@ -200,6 +201,23 @@ type PoolOption = core.PoolOption
 // when all are checked out), capping the memory spent on per-searcher
 // O(n) arrays on very large graphs.
 func WithMaxSearchers(n int) PoolOption { return core.WithMaxSearchers(n) }
+
+// MetricsRegistry collects instrumentation in Prometheus text exposition
+// format, dependency-free and race-clean (see internal/metrics). One
+// registry is typically shared by a pool (WithMetrics) and an HTTP server
+// (internal/server's WithMetrics serves it at GET /metrics); docs/METRICS.md
+// documents every metric the stack registers.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetrics registers the pool's occupancy instrumentation with reg:
+// checked-out searchers, blocked waiters, pre-warmed spares, the
+// configured cap, and a histogram of how long blocking Gets waited. The
+// accounting is atomic adds only — the distance hot path stays
+// allocation-free and lock-free.
+func WithMetrics(reg *MetricsRegistry) PoolOption { return core.WithMetrics(reg) }
 
 // NewPool returns a searcher pool over idx.
 func NewPool(idx Index, opts ...PoolOption) *Pool { return core.NewPool(idx, opts...) }
